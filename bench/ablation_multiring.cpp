@@ -1,0 +1,139 @@
+// Ablation bench for Multi-Ring Paxos' coordination knobs (DESIGN.md
+// "design choices"): the deterministic-merge window M and the rate-leveling
+// maximum rate lambda.
+//
+// (a) M sweep: two equally loaded rings; larger M amortizes merge switches
+//     but coarsens interleaving — latency grows once M exceeds the
+//     per-window backlog.
+// (b) lambda sweep: one loaded ring + one idle ring. Without rate leveling
+//     (lambda=0) the merge stalls outright; small lambda paces delivery of
+//     the *loaded* ring at the idle ring's skip rate; ample lambda makes
+//     the idle ring invisible.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "codec/codec.hpp"
+#include "coord/registry.hpp"
+#include "multiring/node.hpp"
+#include "sim/env.hpp"
+
+namespace {
+
+using namespace mrp;
+
+struct Probe {
+  std::uint64_t delivered = 0;
+  Histogram latency;
+};
+
+/// Node 1 runs closed-loop proposers on the given ring; payloads carry the
+/// issue timestamp for latency measurement.
+class LoadNode : public multiring::MultiRingNode {
+ public:
+  LoadNode(sim::Env& env, ProcessId id, coord::Registry* reg,
+           multiring::NodeConfig cfg, GroupId load_ring, int inflight,
+           std::shared_ptr<Probe> probe)
+      : MultiRingNode(env, id, reg, std::move(cfg)),
+        load_ring_(load_ring),
+        inflight_(inflight),
+        probe_(std::move(probe)) {
+    set_deliver([this](GroupId g, InstanceId, const Payload& p) {
+      if (probe_) {
+        ++probe_->delivered;
+        if (g == load_ring_ && p.size() >= 8) {
+          codec::Reader r(p.bytes());
+          probe_->latency.record(now() - r.i64());
+        }
+      }
+      if (inflight_ > 0 && g == load_ring_) propose_one();
+    });
+  }
+
+  void on_start() override {
+    for (int i = 0; i < inflight_; ++i) propose_one();
+  }
+
+ private:
+  void propose_one() {
+    codec::Writer w;
+    w.i64(now());
+    Bytes b = w.take();
+    b.resize(1024, 0x31);
+    multicast(load_ring_, Payload(std::move(b)));
+  }
+
+  GroupId load_ring_;
+  int inflight_;
+  std::shared_ptr<Probe> probe_;
+};
+
+struct Point {
+  double ops;
+  double mean_ms;
+};
+
+Point run(std::uint32_t merge_m, double lambda, bool load_both) {
+  sim::Env env(99);
+  bench::configure_cluster(env);
+  coord::Registry registry(env);
+  for (GroupId g : {0, 1}) {
+    coord::RingConfig rc;
+    rc.ring = g;
+    rc.order = {1, 2, 3};
+    rc.acceptors = {1, 2, 3};
+    registry.create_ring(rc);
+  }
+  ringpaxos::RingParams p;
+  p.lambda = lambda;
+  p.skip_interval = 5 * kMillisecond;
+  multiring::NodeConfig cfg;
+  cfg.merge_m = merge_m;
+  cfg.rings = {multiring::RingSub{0, p, true}, multiring::RingSub{1, p, true}};
+
+  auto probe = std::make_shared<Probe>();
+  // Node 1 drives ring 0 (and ring 1 if load_both); 2 and 3 just follow.
+  env.spawn<LoadNode>(1, &registry, cfg, 0, 16, probe);
+  env.spawn<LoadNode>(2, &registry, cfg, 1, load_both ? 16 : 0,
+                      std::shared_ptr<Probe>());
+  env.spawn<LoadNode>(3, &registry, cfg, 1, 0, std::shared_ptr<Probe>());
+  for (ProcessId n : {1, 2, 3}) env.set_cpu(n, bench::server_cpu());
+
+  env.sim().run_for(from_seconds(1));
+  probe->latency.clear();
+  const std::uint64_t before = probe->delivered;
+  const TimeNs measure = from_seconds(5);
+  env.sim().run_for(measure);
+  return {static_cast<double>(probe->delivered - before) / to_seconds(measure),
+          probe->latency.mean() / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation (a): merge window M, two loaded rings (1 KB values, 16 "
+      "outstanding per ring)");
+  std::printf("%8s %14s %12s\n", "M", "delivered/s", "mean_ms");
+  for (std::uint32_t m : {1u, 2u, 8u, 32u, 128u}) {
+    const Point pt = run(m, 4000, true);
+    std::printf("%8u %14.0f %12.3f\n", m, pt.ops, pt.mean_ms);
+  }
+  std::printf(
+      "\nWith smooth, balanced load M is performance-neutral (merge\n"
+      "switches are free in this implementation); the paper's M=1 default\n"
+      "is safe, and M only matters when switching has real cost.\n");
+
+  bench::print_header(
+      "Ablation (b): rate leveling lambda, ring 0 loaded / ring 1 idle");
+  std::printf("%8s %14s %12s\n", "lambda", "delivered/s", "mean_ms");
+  for (double lambda : {0.0, 500.0, 2000.0, 8000.0, 32000.0}) {
+    const Point pt = run(1, lambda, false);
+    std::printf("%8.0f %14.0f %12.3f\n", lambda, pt.ops, pt.mean_ms);
+  }
+  std::printf(
+      "\nlambda=0 delivers only until the merge first waits on the idle "
+      "ring — rate leveling is what keeps a multi-group learner live.\n");
+  return 0;
+}

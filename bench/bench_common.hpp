@@ -1,0 +1,80 @@
+// Shared support for the figure-reproduction benches: the simulated-hardware
+// profiles (cluster machines, EC2 WAN matrix, disks) and table/CDF printing.
+//
+// Calibration note: CPU service times and disk parameters are chosen so that
+// the *relationships* the paper reports (which storage mode wins, where
+// saturation sets in, who scales) are reproduced; absolute numbers depend on
+// the simulated hardware profile and are expected to differ from the
+// paper's 2014 testbed. EXPERIMENTS.md records both.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::bench {
+
+/// CPU profile of one of the paper's cluster machines (32-core Xeon): a
+/// fixed per-message handling cost plus a per-byte cost (checksum + copy).
+inline sim::CpuParams server_cpu() {
+  return sim::CpuParams{from_micros(5.0), 1.2};
+}
+
+/// The local cluster: 10 Gbps switch, 0.1 ms RTT.
+inline void configure_cluster(sim::Env& env) {
+  env.net().set_default_link({from_micros(50), 10e9});
+}
+
+/// EC2-like geography: one-way latencies (ms) between the paper's four
+/// regions: 0=eu-west-1, 1=us-east-1, 2=us-west-1, 3=us-west-2.
+inline void configure_ec2(sim::Env& env) {
+  for (int s = 0; s < 4; ++s) env.net().set_site_local_latency(s, from_micros(150));
+  env.net().set_site_latency(0, 1, from_millis(40));
+  env.net().set_site_latency(0, 2, from_millis(70));
+  env.net().set_site_latency(0, 3, from_millis(65));
+  env.net().set_site_latency(1, 2, from_millis(35));
+  env.net().set_site_latency(1, 3, from_millis(30));
+  env.net().set_site_latency(2, 3, from_millis(10));
+  env.net().set_site_bandwidth(1e9);  // EC2 large instances
+}
+
+inline const char* region_name(int site) {
+  switch (site) {
+    case 0: return "eu-west-1";
+    case 1: return "us-east-1";
+    case 2: return "us-west-1";
+    case 3: return "us-west-2";
+  }
+  return "?";
+}
+
+/// Prints a latency CDF as (value, fraction) rows, decimated to at most
+/// `max_points` points.
+inline void print_cdf(const Histogram& h, const std::string& label,
+                      int max_points = 24) {
+  auto cdf = h.cdf();
+  std::printf("  CDF %s: n=%llu\n", label.c_str(),
+              static_cast<unsigned long long>(h.count()));
+  const std::size_t step =
+      cdf.size() <= static_cast<std::size_t>(max_points)
+          ? 1
+          : cdf.size() / static_cast<std::size_t>(max_points);
+  for (std::size_t i = 0; i < cdf.size(); i += step) {
+    std::printf("    %10.3f ms  %6.4f\n",
+                static_cast<double>(cdf[i].first) / 1e6, cdf[i].second);
+  }
+  if (!cdf.empty() && (cdf.size() - 1) % step != 0) {
+    std::printf("    %10.3f ms  %6.4f\n",
+                static_cast<double>(cdf.back().first) / 1e6,
+                cdf.back().second);
+  }
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace mrp::bench

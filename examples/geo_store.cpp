@@ -1,0 +1,116 @@
+// Example: a geo-replicated MRP-Store across four regions.
+//
+// Shows how to describe a WAN topology (sites + inter-region latencies),
+// deploy one partition per region with a global ring for cross-partition
+// ordering, and measure what each region's clients experience. Per-region
+// writes stay local-latency-cheap to propose but deliver behind the global
+// merge; cross-partition scans are totally ordered with all writes.
+//
+//   ./example_geo_store
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "coord/registry.hpp"
+#include "mrpstore/client.hpp"
+#include "mrpstore/store.hpp"
+#include "sim/env.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+using namespace mrp;
+
+int main() {
+  sim::Env env(2026);
+  coord::Registry registry(env, 500 * kMillisecond);
+
+  // Geography: 0=eu-west, 1=us-east, 2=us-west-1, 3=us-west-2 (one-way ms).
+  const char* names[] = {"eu-west-1", "us-east-1", "us-west-1", "us-west-2"};
+  for (int s = 0; s < 4; ++s) env.net().set_site_local_latency(s, from_micros(150));
+  env.net().set_site_latency(0, 1, from_millis(40));
+  env.net().set_site_latency(0, 2, from_millis(70));
+  env.net().set_site_latency(0, 3, from_millis(65));
+  env.net().set_site_latency(1, 2, from_millis(35));
+  env.net().set_site_latency(1, 3, from_millis(30));
+  env.net().set_site_latency(2, 3, from_millis(10));
+  env.net().set_site_bandwidth(1e9);
+
+  // One partition (ring of 3 replicas) per region + a global ring; WAN
+  // parameters from the paper: M=1, Delta=20 ms, lambda=2000.
+  mrpstore::StoreOptions so;
+  so.partitions = 4;
+  so.replicas_per_partition = 3;
+  so.global_ring = true;
+  so.sites = {0, 1, 2, 3};
+  so.ring_params.lambda = 2000;
+  so.ring_params.skip_interval = 20 * kMillisecond;
+  so.ring_params.gap_timeout = 200 * kMillisecond;
+  so.global_params = so.ring_params;
+  so.replica_options.batch_bytes = 32 * 1024;
+  so.replica_options.batch_delay = 5 * kMillisecond;
+  auto dep = build_store(env, registry, so);
+  mrpstore::StoreClient store(dep);
+
+  // One client per region writing region-local keys.
+  std::vector<smr::ClientNode*> clients;
+  for (int region = 0; region < 4; ++region) {
+    const ProcessId cpid = 900 + region;
+    env.net().set_site(cpid, region);
+    clients.push_back(env.spawn<smr::ClientNode>(
+        cpid, smr::ClientNode::Options{16, 5 * kSecond, 0},
+        smr::ClientNode::NextFn(
+            [&store, &dep, region, n = 0](std::uint32_t) mutable
+            -> std::optional<smr::Request> {
+              const std::string key =
+                  "region" + std::to_string(region) + "/doc" +
+                  std::to_string(n++ % 256);
+              smr::Request r;
+              r.sends.push_back(smr::Request::Send{
+                  dep.partition_groups[static_cast<std::size_t>(region)],
+                  dep.replicas[static_cast<std::size_t>(region)]});
+              mrpstore::Op op;
+              op.type = mrpstore::OpType::kInsert;
+              op.key = key;
+              op.value = to_bytes("v");
+              r.op = mrpstore::encode_op(op);
+              return r;
+            }),
+        smr::ClientNode::DoneFn(nullptr)));
+  }
+
+  // A roaming analyst in eu-west runs global scans (consistent snapshots
+  // across all four regions).
+  std::size_t last_scan_size = 0;
+  env.net().set_site(910, 0);
+  env.spawn<smr::ClientNode>(
+      910, smr::ClientNode::Options{1, 10 * kSecond, kSecond},
+      smr::ClientNode::NextFn([&store](std::uint32_t)
+                                  -> std::optional<smr::Request> {
+        return store.scan("region", "regioo", 0);
+      }),
+      smr::ClientNode::DoneFn([&](const smr::Completion& c) {
+        last_scan_size =
+            mrpstore::StoreClient::merge_scan(c.results).entries.size();
+      }));
+
+  env.sim().run_for(from_seconds(15));
+
+  std::printf("geo store after 15 s:\n");
+  bool ok = true;
+  for (int region = 0; region < 4; ++region) {
+    auto* c = clients[static_cast<std::size_t>(region)];
+    std::printf("  %-10s: %6llu writes, p50 latency %.0f ms\n", names[region],
+                static_cast<unsigned long long>(c->completed()),
+                static_cast<double>(c->latency_histogram().quantile(0.5)) /
+                    1e6);
+    ok = ok && c->completed() > 100;
+  }
+  std::printf("  last global scan saw %zu documents (totally ordered with "
+              "all writes)\n",
+              last_scan_size);
+  ok = ok && last_scan_size > 0;
+  std::printf("%s\n", ok ? "PASS: all regions progressed and global scans "
+                           "returned data"
+                         : "FAIL");
+  return ok ? 0 : 1;
+}

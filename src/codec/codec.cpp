@@ -1,0 +1,104 @@
+#include "codec/codec.hpp"
+
+#include <cstring>
+
+namespace mrp::codec {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(const Bytes& b) {
+  varint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Writer::str(const std::string& s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void Reader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) throw CodecError("truncated input");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0)) {
+      throw CodecError("varint overflow");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Bytes Reader::bytes() {
+  const std::uint64_t n = varint();
+  if (n > remaining()) throw CodecError("byte string exceeds buffer");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = varint();
+  if (n > remaining()) throw CodecError("string exceeds buffer");
+  std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void Reader::expect_done() const {
+  if (!done()) throw CodecError("trailing bytes after decode");
+}
+
+}  // namespace mrp::codec

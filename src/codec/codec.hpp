@@ -1,0 +1,69 @@
+// Binary wire codec.
+//
+// Commands multicast by clients, acceptor log records, and replica
+// checkpoints are encoded with this little-endian format: fixed-width
+// integers, LEB128 varints, and length-prefixed byte strings. Decoding
+// malformed or truncated input throws CodecError (callers at trust
+// boundaries catch it; internal callers treat it as a bug).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mrp::codec {
+
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void varint(std::uint64_t v);
+  void bytes(const Bytes& b);       // varint length + raw bytes
+  void str(const std::string& s);   // varint length + raw bytes
+  void raw(const void* data, std::size_t n);
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  std::uint64_t varint();
+  Bytes bytes();
+  std::string str();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws unless the whole buffer was consumed (call at end of decode).
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mrp::codec

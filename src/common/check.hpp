@@ -1,0 +1,26 @@
+// Lightweight invariant checking. MRP_CHECK is always on (protocol safety
+// bugs must never pass silently, even in release benches); the cost is a
+// predictable branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrp::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "MRP_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace mrp::detail
+
+#define MRP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::mrp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MRP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::mrp::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

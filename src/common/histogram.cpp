@@ -1,0 +1,126 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace mrp {
+
+Histogram::Histogram(int sub_bucket_bits) : sub_bits_(sub_bucket_bits) {
+  MRP_CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 12);
+  // 64 exponent groups x 2^sub_bits linear sub-buckets.
+  buckets_.assign(static_cast<std::size_t>(64) << sub_bits_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const {
+  if (value < 0) value = 0;
+  const std::uint64_t v = static_cast<std::uint64_t>(value);
+  const int msb = (v == 0) ? 0 : 63 - std::countl_zero(v);
+  if (msb < sub_bits_) {
+    // Small values get exact buckets.
+    return static_cast<std::size_t>(v);
+  }
+  const int shift = msb - sub_bits_;
+  const std::uint64_t sub = (v >> shift) & ((1ULL << sub_bits_) - 1);
+  const std::size_t group = static_cast<std::size_t>(msb - sub_bits_ + 1);
+  return (group << sub_bits_) + static_cast<std::size_t>(sub);
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t index) const {
+  const std::size_t group = index >> sub_bits_;
+  const std::size_t sub = index & ((1ULL << sub_bits_) - 1);
+  if (group == 0) return static_cast<std::int64_t>(sub);
+  const int shift = static_cast<int>(group) - 1;
+  const std::uint64_t base = (1ULL << (shift + sub_bits_)) + (sub << shift);
+  const std::uint64_t width = 1ULL << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;  // latencies: clamp clock-skew artifacts
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+  buckets_[std::min(bucket_index(value), buckets_.size() - 1)] += n;
+}
+
+void Histogram::merge(const Histogram& other) {
+  MRP_CHECK(sub_bits_ == other.sub_bits_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::clear() {
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+std::int64_t Histogram::min() const { return count_ ? min_ : 0; }
+std::int64_t Histogram::max() const { return count_ ? max_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::int64_t, double>> Histogram::cdf() const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  if (count_ == 0) return out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    cum += buckets_[i];
+    out.emplace_back(std::clamp(bucket_midpoint(i), min_, max_),
+                     static_cast<double>(cum) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+std::string Histogram::summary(double scale, const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2f%s p50=%.2f%s p90=%.2f%s p99=%.2f%s max=%.2f%s",
+                static_cast<unsigned long long>(count_), mean() / scale,
+                unit.c_str(), quantile(0.5) / scale, unit.c_str(),
+                quantile(0.9) / scale, unit.c_str(), quantile(0.99) / scale,
+                unit.c_str(), static_cast<double>(max()) / scale, unit.c_str());
+  return buf;
+}
+
+}  // namespace mrp

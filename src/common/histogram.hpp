@@ -1,0 +1,50 @@
+// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+// linear sub-buckets) able to record values spanning nanoseconds to minutes
+// with bounded relative error and O(1) record cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrp {
+
+class Histogram {
+ public:
+  /// sub_bucket_bits controls resolution: relative error <= 2^-sub_bucket_bits.
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+
+  /// Value at quantile q in [0,1]. Returns 0 for an empty histogram.
+  std::int64_t quantile(double q) const;
+
+  /// (value, cumulative fraction) pairs suitable for plotting a CDF; one
+  /// point per non-empty bucket.
+  std::vector<std::pair<std::int64_t, double>> cdf() const;
+
+  /// Human-readable summary, with values scaled by `scale` and tagged with
+  /// `unit` (e.g. scale=1e6, unit="ms" for nanosecond recordings).
+  std::string summary(double scale, const std::string& unit) const;
+
+ private:
+  std::size_t bucket_index(std::int64_t value) const;
+  std::int64_t bucket_midpoint(std::size_t index) const;
+
+  int sub_bits_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace mrp

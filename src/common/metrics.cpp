@@ -1,0 +1,50 @@
+#include "common/metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace mrp {
+
+ThroughputTimeline::ThroughputTimeline(TimeNs window) : window_(window) {
+  MRP_CHECK(window > 0);
+}
+
+void ThroughputTimeline::record(TimeNs when, std::uint64_t count) {
+  if (when < 0) when = 0;
+  const std::size_t idx = static_cast<std::size_t>(when / window_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+}
+
+std::vector<double> ThroughputTimeline::series() const {
+  std::vector<double> out(counts_.size());
+  const double w = to_seconds(window_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / w;
+  }
+  return out;
+}
+
+void Meter::record(std::uint64_t bytes) {
+  ops_ += 1;
+  bytes_ += bytes;
+}
+
+void Meter::set_interval(TimeNs begin, TimeNs end) {
+  MRP_CHECK(end >= begin);
+  begin_ = begin;
+  end_ = end;
+}
+
+double Meter::seconds() const { return to_seconds(end_ - begin_); }
+
+double Meter::ops_per_sec() const {
+  const double s = seconds();
+  return s > 0 ? static_cast<double>(ops_) / s : 0.0;
+}
+
+double Meter::megabits_per_sec() const {
+  const double s = seconds();
+  return s > 0 ? static_cast<double>(bytes_) * 8.0 / 1e6 / s : 0.0;
+}
+
+}  // namespace mrp

@@ -1,0 +1,50 @@
+// Experiment metrics: windowed throughput timelines (for the recovery figure)
+// and simple aggregate meters used by every bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mrp {
+
+/// Counts events into fixed-width time windows so a bench can print a
+/// throughput-over-time series (e.g. Figure 8's 300-second timeline).
+class ThroughputTimeline {
+ public:
+  explicit ThroughputTimeline(TimeNs window = kSecond);
+
+  void record(TimeNs when, std::uint64_t count = 1);
+
+  /// Ops/sec per window, covering [0, last recorded window].
+  std::vector<double> series() const;
+
+  TimeNs window() const { return window_; }
+
+ private:
+  TimeNs window_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Aggregate operation meter: op count, byte count, wall-clock interval.
+class Meter {
+ public:
+  void record(std::uint64_t bytes = 0);
+  void set_interval(TimeNs begin, TimeNs end);
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t bytes() const { return bytes_; }
+  double seconds() const;
+  double ops_per_sec() const;
+  double megabits_per_sec() const;
+
+ private:
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  TimeNs begin_ = 0;
+  TimeNs end_ = 0;
+};
+
+}  // namespace mrp

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms, so
+// we avoid std::mt19937/std::uniform_* (distribution algorithms are
+// implementation-defined) and implement the generator and the distributions
+// we need ourselves.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace mrp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Exponentially distributed value with the given mean (>0).
+  double next_exponential(double mean);
+
+  /// Fork an independent stream (useful to give each process its own RNG
+  /// derived from the experiment seed).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mrp

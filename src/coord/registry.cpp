@@ -1,0 +1,185 @@
+#include "coord/registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mrp::coord {
+
+namespace {
+/// Sender id used for registry notifications; not a registered process (the
+/// registry models an always-available external ensemble).
+constexpr ProcessId kRegistrySender = -100;
+}  // namespace
+
+bool RingView::contains(ProcessId p) const {
+  return std::find(members.begin(), members.end(), p) != members.end();
+}
+
+bool RingView::is_acceptor(ProcessId p) const {
+  return std::find(acceptors.begin(), acceptors.end(), p) != acceptors.end();
+}
+
+ProcessId RingView::successor(ProcessId p) const {
+  auto it = std::find(members.begin(), members.end(), p);
+  MRP_CHECK_MSG(it != members.end(), "successor of non-member");
+  ++it;
+  return it == members.end() ? members.front() : *it;
+}
+
+Registry::Registry(sim::Env& env, TimeNs fd_interval)
+    : env_(env), fd_interval_(fd_interval) {
+  MRP_CHECK(fd_interval > 0);
+  // Self-rescheduling poll loop; the registry lives as long as the Env.
+  std::function<void()> tick = [this] { poll(); };
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [this, loop] {
+    poll();
+    env_.sim().schedule_after(fd_interval_, *loop);
+  };
+  env_.sim().schedule_after(fd_interval_, *loop);
+}
+
+void Registry::create_ring(const RingConfig& config) {
+  MRP_CHECK(config.ring >= 0);
+  MRP_CHECK_MSG(!config.order.empty(), "ring needs at least one member");
+  MRP_CHECK_MSG(!config.acceptors.empty(), "ring needs at least one acceptor");
+  for (ProcessId a : config.acceptors) {
+    MRP_CHECK_MSG(
+        std::find(config.order.begin(), config.order.end(), a) != config.order.end(),
+        "acceptor not in ring order");
+  }
+  MRP_CHECK_MSG(rings_.find(config.ring) == rings_.end(), "ring exists");
+  RingState& rs = rings_[config.ring];
+  rs.config = config;
+  // The initial view optimistically includes every configured member:
+  // deployments create rings before spawning the member processes, and the
+  // failure-detector poll prunes anything that never comes up.
+  const std::set<ProcessId> all(config.order.begin(), config.order.end());
+  rs.view = build_view(config, all, 1, kNoProcess);
+  notify(rs);
+}
+
+RingView Registry::build_view(const RingConfig& cfg,
+                              const std::set<ProcessId>& alive,
+                              std::uint64_t epoch, ProcessId sticky_coord) {
+  RingView v;
+  v.ring = cfg.ring;
+  v.epoch = epoch;
+  v.total_acceptors = cfg.acceptors.size();
+  for (ProcessId p : cfg.order) {
+    if (!alive.count(p)) continue;
+    v.members.push_back(p);
+    if (cfg.acceptors.count(p)) v.acceptors.push_back(p);
+  }
+  if (sticky_coord != kNoProcess && alive.count(sticky_coord)) {
+    v.coordinator = sticky_coord;
+  } else if (!v.acceptors.empty()) {
+    v.coordinator = v.acceptors.front();
+  }
+  return v;
+}
+
+const RingView& Registry::current_view(GroupId ring) const {
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  return it->second.view;
+}
+
+const RingConfig& Registry::config(GroupId ring) const {
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  return it->second.config;
+}
+
+std::vector<GroupId> Registry::rings() const {
+  std::vector<GroupId> out;
+  for (const auto& [id, _] : rings_) out.push_back(id);
+  return out;
+}
+
+void Registry::watch_ring(GroupId ring, ProcessId p) {
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  it->second.watchers.insert(p);
+  auto msg = std::make_shared<MsgViewChange>();
+  msg->view = it->second.view;
+  env_.send_from(kRegistrySender, p, msg);
+  it->second.notified.insert(p);
+}
+
+void Registry::set_subscriptions(ProcessId p, std::vector<GroupId> groups) {
+  std::sort(groups.begin(), groups.end());
+  subscriptions_[p] = std::move(groups);
+}
+
+std::vector<GroupId> Registry::subscriptions(ProcessId p) const {
+  auto it = subscriptions_.find(p);
+  return it == subscriptions_.end() ? std::vector<GroupId>{} : it->second;
+}
+
+std::vector<ProcessId> Registry::subscribers(GroupId group) const {
+  std::vector<ProcessId> out;
+  for (const auto& [p, groups] : subscriptions_) {
+    if (std::find(groups.begin(), groups.end(), group) != groups.end()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<ProcessId> Registry::partition_peers(ProcessId p) const {
+  auto it = subscriptions_.find(p);
+  MRP_CHECK_MSG(it != subscriptions_.end(), "process has no subscriptions");
+  std::vector<ProcessId> out;
+  for (const auto& [q, groups] : subscriptions_) {
+    if (groups == it->second) out.push_back(q);
+  }
+  return out;
+}
+
+void Registry::set_meta(const std::string& key, const std::string& value) {
+  meta_[key] = value;
+}
+
+std::string Registry::get_meta(const std::string& key) const {
+  auto it = meta_.find(key);
+  return it == meta_.end() ? std::string{} : it->second;
+}
+
+void Registry::check_now() { poll(); }
+
+void Registry::poll() {
+  for (auto& [_, rs] : rings_) recompute(rs);
+}
+
+void Registry::recompute(RingState& rs) {
+  std::set<ProcessId> alive;
+  for (ProcessId p : rs.config.order) {
+    if (env_.is_alive(p)) alive.insert(p);
+  }
+  std::set<ProcessId> current(rs.view.members.begin(), rs.view.members.end());
+  if (alive != current) {
+    rs.view = build_view(rs.config, alive, rs.view.epoch + 1,
+                         rs.view.coordinator);
+    rs.notified.clear();
+  }
+  notify(rs);
+}
+
+void Registry::notify(RingState& rs) {
+  for (ProcessId w : rs.watchers) {
+    if (!env_.is_alive(w)) {
+      // Crashed watcher: forget, so it is re-notified after recovery.
+      rs.notified.erase(w);
+      continue;
+    }
+    if (rs.notified.count(w)) continue;
+    auto msg = std::make_shared<MsgViewChange>();
+    msg->view = rs.view;
+    env_.send_from(kRegistrySender, w, msg);
+    rs.notified.insert(w);
+  }
+}
+
+}  // namespace mrp::coord

@@ -1,0 +1,121 @@
+// Coordination service — the repo's stand-in for the paper's Zookeeper.
+//
+// The paper delegates ring configuration, coordinator election and the
+// partitioning schema to Zookeeper and treats it as reliable. We implement
+// the same interface as an environment-attached oracle service:
+//   * ring views: epoch-numbered membership lists with a designated
+//     coordinator; processes watch a ring and receive MsgViewChange
+//     notifications over the simulated network (like ZK watches),
+//   * failure detection: the registry polls liveness every fd_interval, so
+//     detection lag is bounded by one interval (a perfect failure detector
+//     with bounded delay — sufficient after GST in the paper's model),
+//   * election: sticky — the current coordinator is kept while alive,
+//     otherwise the first alive acceptor in configured ring order takes over,
+//   * subscriptions: learners register the set of groups they deliver;
+//     replicas with equal subscription sets form a partition (Section 5.2),
+//   * metadata: string key/value store for the services' partition schema.
+//
+// View epochs are monotonically increasing per ring and double as Paxos
+// round numbers, so a newly elected coordinator always owns a higher round
+// than any predecessor.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::coord {
+
+/// A ring view: the alive members of a ring at some epoch, in ring order.
+struct RingView {
+  GroupId ring = -1;
+  std::uint64_t epoch = 0;
+  std::vector<ProcessId> members;    // alive members, configured ring order
+  std::vector<ProcessId> acceptors;  // alive acceptors, configured ring order
+  std::size_t total_acceptors = 0;   // configured count; quorum basis
+  ProcessId coordinator = kNoProcess;
+
+  std::size_t quorum() const { return total_acceptors / 2 + 1; }
+  bool contains(ProcessId p) const;
+  bool is_acceptor(ProcessId p) const;
+  /// Next alive member after p in ring order (wraps). p must be a member.
+  ProcessId successor(ProcessId p) const;
+};
+
+/// Static configuration of one ring (one multicast group).
+struct RingConfig {
+  GroupId ring = -1;
+  std::vector<ProcessId> order;   // full configured ring order
+  std::set<ProcessId> acceptors;  // subset of order
+};
+
+constexpr int kMsgViewChange = 600;
+
+struct MsgViewChange : sim::Message {
+  RingView view;
+  int kind() const override { return kMsgViewChange; }
+  std::size_t wire_size() const override {
+    return 32 + view.members.size() * 8;
+  }
+};
+
+class Registry {
+ public:
+  /// fd_interval bounds failure-detection (and recovery-detection) lag.
+  explicit Registry(sim::Env& env, TimeNs fd_interval = 100 * kMillisecond);
+
+  // --- rings & views ---
+  void create_ring(const RingConfig& config);
+  const RingView& current_view(GroupId ring) const;
+  const RingConfig& config(GroupId ring) const;
+  std::vector<GroupId> rings() const;
+
+  /// Registers p as a watcher: it receives the current view immediately and
+  /// a MsgViewChange whenever the view changes. Watches survive crashes of
+  /// the watcher (the view is re-sent when it rejoins).
+  void watch_ring(GroupId ring, ProcessId p);
+
+  // --- subscriptions & partitions ---
+  void set_subscriptions(ProcessId p, std::vector<GroupId> groups);
+  std::vector<GroupId> subscriptions(ProcessId p) const;
+  /// All processes that subscribed to `group`.
+  std::vector<ProcessId> subscribers(GroupId group) const;
+  /// Processes with exactly the same subscription set as p (including p).
+  std::vector<ProcessId> partition_peers(ProcessId p) const;
+
+  // --- metadata (partitioning schema etc.) ---
+  void set_meta(const std::string& key, const std::string& value);
+  std::string get_meta(const std::string& key) const;
+
+  /// Forces an immediate liveness check (tests use this to avoid waiting a
+  /// full fd interval).
+  void check_now();
+
+ private:
+  struct RingState {
+    RingConfig config;
+    RingView view;
+    std::set<ProcessId> watchers;
+    std::set<ProcessId> notified;  // watchers already at view.epoch
+  };
+
+  void poll();
+  void recompute(RingState& rs);
+  void notify(RingState& rs);
+  static RingView build_view(const RingConfig& cfg,
+                             const std::set<ProcessId>& alive,
+                             std::uint64_t epoch, ProcessId sticky_coord);
+
+  sim::Env& env_;
+  TimeNs fd_interval_;
+  std::map<GroupId, RingState> rings_;
+  std::map<ProcessId, std::vector<GroupId>> subscriptions_;
+  std::map<std::string, std::string> meta_;
+};
+
+}  // namespace mrp::coord

@@ -1,0 +1,60 @@
+#include "dlog/client.hpp"
+
+#include "common/check.hpp"
+
+namespace mrp::dlog {
+
+DLogClient::DLogClient(DLogDeployment deployment)
+    : deployment_(std::move(deployment)) {}
+
+smr::Request DLogClient::to_log(LogId log, Op op) const {
+  smr::Request req;
+  req.sends.push_back(
+      smr::Request::Send{deployment_.group_of(log), deployment_.servers});
+  req.op = encode_op(op);
+  req.expected_partitions = 1;
+  return req;
+}
+
+smr::Request DLogClient::append(LogId log, Bytes data) const {
+  Op op;
+  op.type = OpType::kAppend;
+  op.logs = {log};
+  op.data = std::move(data);
+  return to_log(log, std::move(op));
+}
+
+smr::Request DLogClient::multi_append(std::vector<LogId> logs,
+                                      Bytes data) const {
+  MRP_CHECK_MSG(deployment_.common_group >= 0,
+                "multi-append needs the common ring");
+  Op op;
+  op.type = OpType::kMultiAppend;
+  op.logs = std::move(logs);
+  op.data = std::move(data);
+
+  smr::Request req;
+  req.sends.push_back(
+      smr::Request::Send{deployment_.common_group, deployment_.servers});
+  req.op = encode_op(op);
+  req.expected_partitions = 1;
+  return req;
+}
+
+smr::Request DLogClient::read(LogId log, Position pos) const {
+  Op op;
+  op.type = OpType::kRead;
+  op.logs = {log};
+  op.pos = pos;
+  return to_log(log, std::move(op));
+}
+
+smr::Request DLogClient::trim(LogId log, Position pos) const {
+  Op op;
+  op.type = OpType::kTrim;
+  op.logs = {log};
+  op.pos = pos;
+  return to_log(log, std::move(op));
+}
+
+}  // namespace mrp::dlog

@@ -1,0 +1,27 @@
+// Client-side request construction for dLog.
+#pragma once
+
+#include "dlog/dlog.hpp"
+#include "smr/client.hpp"
+
+namespace mrp::dlog {
+
+class DLogClient {
+ public:
+  explicit DLogClient(DLogDeployment deployment);
+
+  smr::Request append(LogId log, Bytes data) const;
+  /// Atomic append to several logs via the common ring.
+  smr::Request multi_append(std::vector<LogId> logs, Bytes data) const;
+  smr::Request read(LogId log, Position pos) const;
+  smr::Request trim(LogId log, Position pos) const;
+
+  const DLogDeployment& deployment() const { return deployment_; }
+
+ private:
+  smr::Request to_log(LogId log, Op op) const;
+
+  DLogDeployment deployment_;
+};
+
+}  // namespace mrp::dlog

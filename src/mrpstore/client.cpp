@@ -1,0 +1,107 @@
+#include "mrpstore/client.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mrp::mrpstore {
+
+StoreClient::StoreClient(StoreDeployment deployment)
+    : deployment_(std::move(deployment)) {
+  MRP_CHECK(deployment_.partitioner != nullptr);
+}
+
+smr::Request StoreClient::single_key(Op op) const {
+  const int p = deployment_.partitioner->partition_for_key(op.key);
+  smr::Request req;
+  req.sends.push_back(smr::Request::Send{
+      deployment_.partition_groups[static_cast<std::size_t>(p)],
+      deployment_.replicas[static_cast<std::size_t>(p)]});
+  req.op = encode_op(op);
+  req.expected_partitions = 1;
+  return req;
+}
+
+smr::Request StoreClient::read(const std::string& key) const {
+  Op op;
+  op.type = OpType::kRead;
+  op.key = key;
+  return single_key(std::move(op));
+}
+
+smr::Request StoreClient::update(const std::string& key, Bytes value) const {
+  Op op;
+  op.type = OpType::kUpdate;
+  op.key = key;
+  op.value = std::move(value);
+  return single_key(std::move(op));
+}
+
+smr::Request StoreClient::insert(const std::string& key, Bytes value) const {
+  Op op;
+  op.type = OpType::kInsert;
+  op.key = key;
+  op.value = std::move(value);
+  return single_key(std::move(op));
+}
+
+smr::Request StoreClient::remove(const std::string& key) const {
+  Op op;
+  op.type = OpType::kDelete;
+  op.key = key;
+  return single_key(std::move(op));
+}
+
+smr::Request StoreClient::scan(const std::string& lo, const std::string& hi,
+                               std::uint32_t limit_per_partition) const {
+  Op op;
+  op.type = OpType::kScan;
+  op.key = lo;
+  op.key_hi = hi;
+  op.limit = limit_per_partition;
+
+  smr::Request req;
+  req.op = encode_op(op);
+
+  const std::vector<int> parts =
+      deployment_.partitioner->partitions_for_range(lo, hi);
+  MRP_CHECK(!parts.empty());
+
+  if (deployment_.global_group >= 0) {
+    // One multicast on the global ring; every partition delivers and
+    // answers. Any replica can act as proposer for the global ring.
+    req.sends.push_back(smr::Request::Send{deployment_.global_group,
+                                           deployment_.all_replicas()});
+    req.expected_partitions = deployment_.replicas.size();
+  } else {
+    // Independent rings: one multicast per overlapping partition; ordered
+    // within each partition only.
+    for (int p : parts) {
+      req.sends.push_back(smr::Request::Send{
+          deployment_.partition_groups[static_cast<std::size_t>(p)],
+          deployment_.replicas[static_cast<std::size_t>(p)]});
+    }
+    req.expected_partitions = parts.size();
+  }
+  return req;
+}
+
+Result StoreClient::merge_scan(const std::map<int, Bytes>& replies,
+                               std::uint32_t limit) {
+  Result merged;
+  for (const auto& [tag, bytes] : replies) {
+    (void)tag;
+    Result part = decode_result(bytes);
+    merged.entries.insert(merged.entries.end(),
+                          std::make_move_iterator(part.entries.begin()),
+                          std::make_move_iterator(part.entries.end()));
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (limit > 0 && merged.entries.size() > limit) {
+    merged.entries.resize(limit);
+  }
+  return merged;
+}
+
+}  // namespace mrp::mrpstore

@@ -1,0 +1,40 @@
+// Client-side request routing for MRP-Store.
+//
+// Clients know the partitioning schema (from the registry metadata) and send
+// each command to a proposer (replica) of the owning partition's ring.
+// Single-key operations target one partition; scans either ride the global
+// ring (one multicast, ordered across partitions) or fan out to each
+// possibly-overlapping partition ("independent rings" configuration).
+#pragma once
+
+#include <string>
+
+#include "mrpstore/store.hpp"
+#include "smr/client.hpp"
+
+namespace mrp::mrpstore {
+
+class StoreClient {
+ public:
+  explicit StoreClient(StoreDeployment deployment);
+
+  smr::Request read(const std::string& key) const;
+  smr::Request update(const std::string& key, Bytes value) const;
+  smr::Request insert(const std::string& key, Bytes value) const;
+  smr::Request remove(const std::string& key) const;
+  smr::Request scan(const std::string& lo, const std::string& hi,
+                    std::uint32_t limit_per_partition = 0) const;
+
+  /// Merges per-partition scan replies into one sorted entry list.
+  static Result merge_scan(const std::map<int, Bytes>& replies,
+                           std::uint32_t limit = 0);
+
+  const StoreDeployment& deployment() const { return deployment_; }
+
+ private:
+  smr::Request single_key(Op op) const;
+
+  StoreDeployment deployment_;
+};
+
+}  // namespace mrp::mrpstore

@@ -1,0 +1,111 @@
+#include "mrpstore/partitioning.hpp"
+
+#include <algorithm>
+
+#include "codec/codec.hpp"
+#include "common/check.hpp"
+
+namespace mrp::mrpstore {
+
+namespace {
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+HashPartitioner::HashPartitioner(std::size_t partitions)
+    : partitions_(partitions) {
+  MRP_CHECK(partitions >= 1);
+}
+
+int HashPartitioner::partition_for_key(std::string_view key) const {
+  return static_cast<int>(fnv1a(key) % partitions_);
+}
+
+std::vector<int> HashPartitioner::partitions_for_range(
+    std::string_view /*lo*/, std::string_view /*hi*/) const {
+  std::vector<int> all(partitions_);
+  for (std::size_t i = 0; i < partitions_; ++i) all[i] = static_cast<int>(i);
+  return all;
+}
+
+std::string HashPartitioner::encode() const {
+  return "hash:" + std::to_string(partitions_);
+}
+
+RangePartitioner::RangePartitioner(std::vector<std::string> splits)
+    : splits_(std::move(splits)) {
+  MRP_CHECK_MSG(std::is_sorted(splits_.begin(), splits_.end()),
+                "range splits must be sorted");
+}
+
+int RangePartitioner::partition_for_key(std::string_view key) const {
+  const auto it = std::upper_bound(splits_.begin(), splits_.end(), key);
+  return static_cast<int>(std::distance(splits_.begin(), it));
+}
+
+std::vector<int> RangePartitioner::partitions_for_range(
+    std::string_view lo, std::string_view hi) const {
+  const int first = partition_for_key(lo);
+  int last = static_cast<int>(splits_.size());
+  if (!hi.empty()) {
+    // hi is exclusive: the partition holding the greatest key < hi.
+    last = partition_for_key(hi);
+    if (last > first) {
+      // If hi is exactly a split point, the last partition is not touched.
+      const auto& boundary = splits_[static_cast<std::size_t>(last) - 1];
+      if (boundary == hi) --last;
+    }
+  }
+  std::vector<int> out;
+  for (int p = first; p <= last; ++p) out.push_back(p);
+  return out;
+}
+
+std::string RangePartitioner::encode() const {
+  std::string out = "range:";
+  codec::Writer w;
+  w.varint(splits_.size());
+  for (const auto& s : splits_) w.str(s);
+  const Bytes& b = w.buffer();
+  static const char* hex = "0123456789abcdef";
+  for (std::uint8_t c : b) {
+    out += hex[c >> 4];
+    out += hex[c & 0xf];
+  }
+  return out;
+}
+
+std::unique_ptr<Partitioner> Partitioner::decode(const std::string& encoded) {
+  if (encoded.rfind("hash:", 0) == 0) {
+    return std::make_unique<HashPartitioner>(
+        static_cast<std::size_t>(std::stoul(encoded.substr(5))));
+  }
+  if (encoded.rfind("range:", 0) == 0) {
+    const std::string hex = encoded.substr(6);
+    MRP_CHECK(hex.size() % 2 == 0);
+    Bytes raw;
+    auto nibble = [](char c) -> std::uint8_t {
+      return c <= '9' ? static_cast<std::uint8_t>(c - '0')
+                      : static_cast<std::uint8_t>(c - 'a' + 10);
+    };
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      raw.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) |
+                                              nibble(hex[i + 1])));
+    }
+    codec::Reader r(raw);
+    const std::uint64_t n = r.varint();
+    std::vector<std::string> splits;
+    for (std::uint64_t i = 0; i < n; ++i) splits.push_back(r.str());
+    return std::make_unique<RangePartitioner>(std::move(splits));
+  }
+  MRP_CHECK_MSG(false, "unknown partitioner encoding");
+  return nullptr;
+}
+
+}  // namespace mrp::mrpstore

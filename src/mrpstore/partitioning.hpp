@@ -1,0 +1,73 @@
+// MRP-Store partitioning schemes (Section 6.1).
+//
+// The database is divided into partitions, each responsible for a subset of
+// the key space; applications choose hash- or range-partitioning and clients
+// must know the schema (the paper stores it in Zookeeper — here it is
+// serialized into the coordination registry's metadata).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mrp::mrpstore {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual std::size_t partition_count() const = 0;
+
+  /// Partition index owning `key`.
+  virtual int partition_for_key(std::string_view key) const = 0;
+
+  /// Partition indexes that may hold keys in [lo, hi). For hash partitioning
+  /// that is every partition; range partitioning narrows it down.
+  virtual std::vector<int> partitions_for_range(std::string_view lo,
+                                                std::string_view hi) const = 0;
+
+  /// Serializes the schema for the registry metadata store.
+  virtual std::string encode() const = 0;
+
+  /// Parses a schema serialized with encode().
+  static std::unique_ptr<Partitioner> decode(const std::string& encoded);
+};
+
+/// FNV-hash based partitioning: uniform spread, range scans hit every
+/// partition.
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(std::size_t partitions);
+
+  std::size_t partition_count() const override { return partitions_; }
+  int partition_for_key(std::string_view key) const override;
+  std::vector<int> partitions_for_range(std::string_view lo,
+                                        std::string_view hi) const override;
+  std::string encode() const override;
+
+ private:
+  std::size_t partitions_;
+};
+
+/// Range partitioning by split points: partition i holds keys in
+/// [splits[i-1], splits[i]) with open ends; scans touch only overlapping
+/// partitions.
+class RangePartitioner final : public Partitioner {
+ public:
+  /// `splits` are the partition boundaries (size = partitions - 1, sorted).
+  explicit RangePartitioner(std::vector<std::string> splits);
+
+  std::size_t partition_count() const override { return splits_.size() + 1; }
+  int partition_for_key(std::string_view key) const override;
+  std::vector<int> partitions_for_range(std::string_view lo,
+                                        std::string_view hi) const override;
+  std::string encode() const override;
+
+ private:
+  std::vector<std::string> splits_;
+};
+
+}  // namespace mrp::mrpstore

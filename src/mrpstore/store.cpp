@@ -1,0 +1,253 @@
+#include "mrpstore/store.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mrp::mrpstore {
+
+Bytes encode_op(const Op& op) {
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(op.type));
+  w.str(op.key);
+  switch (op.type) {
+    case OpType::kRead:
+    case OpType::kDelete:
+      break;
+    case OpType::kUpdate:
+    case OpType::kInsert:
+      w.bytes(op.value);
+      break;
+    case OpType::kScan:
+      w.str(op.key_hi);
+      w.u32(op.limit);
+      break;
+  }
+  return w.take();
+}
+
+Op decode_op(const Bytes& data) {
+  codec::Reader r(data);
+  Op op;
+  op.type = static_cast<OpType>(r.u8());
+  op.key = r.str();
+  switch (op.type) {
+    case OpType::kRead:
+    case OpType::kDelete:
+      break;
+    case OpType::kUpdate:
+    case OpType::kInsert:
+      op.value = r.bytes();
+      break;
+    case OpType::kScan:
+      op.key_hi = r.str();
+      op.limit = r.u32();
+      break;
+  }
+  r.expect_done();
+  return op;
+}
+
+Bytes encode_result(const Result& res) {
+  codec::Writer w;
+  w.u8(static_cast<std::uint8_t>(res.status));
+  w.bytes(res.value);
+  w.varint(res.entries.size());
+  for (const auto& [k, v] : res.entries) {
+    w.str(k);
+    w.bytes(v);
+  }
+  return w.take();
+}
+
+Result decode_result(const Bytes& data) {
+  codec::Reader r(data);
+  Result res;
+  res.status = static_cast<Status>(r.u8());
+  res.value = r.bytes();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    Bytes v = r.bytes();
+    res.entries.emplace_back(std::move(k), std::move(v));
+  }
+  r.expect_done();
+  return res;
+}
+
+Bytes KvStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
+  const Op op = decode_op(encoded);
+  Result res;
+  switch (op.type) {
+    case OpType::kRead: {
+      auto it = data_.find(op.key);
+      if (it == data_.end()) {
+        res.status = Status::kNotFound;
+      } else {
+        res.value = it->second;
+      }
+      break;
+    }
+    case OpType::kUpdate: {
+      auto it = data_.find(op.key);
+      if (it == data_.end()) {
+        res.status = Status::kNotFound;  // update only if existent (Table 1)
+      } else {
+        it->second = op.value;
+      }
+      break;
+    }
+    case OpType::kInsert: {
+      data_[op.key] = op.value;
+      break;
+    }
+    case OpType::kDelete: {
+      res.status = data_.erase(op.key) ? Status::kOk : Status::kNotFound;
+      break;
+    }
+    case OpType::kScan: {
+      auto it = data_.lower_bound(op.key);
+      const std::uint32_t limit = op.limit == 0 ? ~0u : op.limit;
+      while (it != data_.end() && res.entries.size() < limit) {
+        if (!op.key_hi.empty() && it->first >= op.key_hi) break;
+        res.entries.emplace_back(it->first, it->second);
+        ++it;
+      }
+      break;
+    }
+  }
+  return encode_result(res);
+}
+
+Bytes KvStateMachine::snapshot() const {
+  codec::Writer w;
+  w.varint(data_.size());
+  for (const auto& [k, v] : data_) {
+    w.str(k);
+    w.bytes(v);
+  }
+  return w.take();
+}
+
+void KvStateMachine::restore(const Bytes& snapshot) {
+  codec::Reader r(snapshot);
+  data_.clear();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    Bytes v = r.bytes();
+    data_.emplace(std::move(k), std::move(v));
+  }
+  r.expect_done();
+}
+
+std::optional<Bytes> KvStateMachine::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStateMachine::preload(std::string key, Bytes value) {
+  data_[std::move(key)] = std::move(value);
+}
+
+std::uint64_t KvStateMachine::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* c = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [k, v] : data_) {
+    mix(k.data(), k.size());
+    mix(v.data(), v.size());
+  }
+  return h;
+}
+
+std::vector<ProcessId> StoreDeployment::all_replicas() const {
+  std::vector<ProcessId> out;
+  for (const auto& group : replicas) {
+    out.insert(out.end(), group.begin(), group.end());
+  }
+  return out;
+}
+
+StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
+                            const StoreOptions& options) {
+  MRP_CHECK(options.partitions >= 1);
+  MRP_CHECK(options.replicas_per_partition >= 1);
+
+  StoreDeployment dep;
+  dep.partitioner = std::shared_ptr<Partitioner>(Partitioner::decode(
+      options.partitioner.empty()
+          ? HashPartitioner(options.partitions).encode()
+          : options.partitioner));
+  registry.set_meta("mrpstore/partitioning", dep.partitioner->encode());
+
+  ProcessId pid = options.first_pid;
+  GroupId group = options.first_group;
+
+  // Allocate replica pids and per-partition groups first.
+  for (std::size_t p = 0; p < options.partitions; ++p) {
+    dep.partition_groups.push_back(group++);
+    std::vector<ProcessId> rs;
+    for (std::size_t r = 0; r < options.replicas_per_partition; ++r) {
+      rs.push_back(pid++);
+    }
+    dep.replicas.push_back(std::move(rs));
+  }
+  if (options.global_ring) dep.global_group = group++;
+
+  // Create the rings: partition ring members/acceptors are the partition's
+  // replicas; the global ring spans every replica (all acceptors).
+  for (std::size_t p = 0; p < options.partitions; ++p) {
+    coord::RingConfig cfg;
+    cfg.ring = dep.partition_groups[p];
+    cfg.order = dep.replicas[p];
+    cfg.acceptors.insert(dep.replicas[p].begin(), dep.replicas[p].end());
+    registry.create_ring(cfg);
+  }
+  if (options.global_ring) {
+    coord::RingConfig cfg;
+    cfg.ring = dep.global_group;
+    cfg.order = dep.all_replicas();
+    cfg.acceptors.insert(cfg.order.begin(), cfg.order.end());
+    registry.create_ring(cfg);
+  }
+
+  // Optional geography.
+  if (!options.sites.empty()) {
+    for (std::size_t p = 0; p < options.partitions; ++p) {
+      const int site = options.sites[p % options.sites.size()];
+      for (ProcessId r : dep.replicas[p]) env.net().set_site(r, site);
+    }
+  }
+
+  // Spawn the replicas.
+  for (std::size_t p = 0; p < options.partitions; ++p) {
+    multiring::NodeConfig cfg;
+    cfg.merge_m = options.merge_m;
+    cfg.rings.push_back(multiring::RingSub{dep.partition_groups[p],
+                                           options.ring_params, true});
+    if (options.global_ring) {
+      cfg.rings.push_back(
+          multiring::RingSub{dep.global_group, options.global_params, true});
+    }
+    smr::ReplicaOptions ro = options.replica_options;
+    ro.partition_tag = static_cast<int>(p);
+    for (ProcessId r : dep.replicas[p]) {
+      env.spawn<smr::ReplicaNode>(
+          r, &registry, cfg,
+          smr::StateMachineFactory([](sim::Env&, ProcessId) {
+            return std::make_unique<KvStateMachine>();
+          }),
+          ro);
+    }
+  }
+  return dep;
+}
+
+}  // namespace mrp::mrpstore

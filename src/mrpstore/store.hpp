@@ -1,0 +1,113 @@
+// MRP-Store: a strongly consistent partitioned key-value store on atomic
+// multicast (Section 6.1, operations of Table 1).
+//
+// Keys are strings, values byte arrays. Each partition is replicated with
+// state-machine replication over one multicast group; single-key operations
+// are multicast to the key's partition, scans to a global group all replicas
+// subscribe to (or, in the "independent rings" configuration, to every
+// partition group separately — cheaper but only per-partition ordered).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/types.hpp"
+#include "coord/registry.hpp"
+#include "mrpstore/partitioning.hpp"
+#include "smr/replica.hpp"
+#include "smr/state_machine.hpp"
+
+namespace mrp::mrpstore {
+
+// --- operation encoding (Table 1) ---
+
+enum class OpType : std::uint8_t {
+  kRead = 1,
+  kUpdate = 2,
+  kInsert = 3,
+  kDelete = 4,
+  kScan = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kExists = 2,
+};
+
+struct Op {
+  OpType type = OpType::kRead;
+  std::string key;        // read/update/insert/delete; scan: lo
+  std::string key_hi;     // scan: exclusive upper bound ("" = open)
+  Bytes value;            // update/insert
+  std::uint32_t limit = 0;  // scan: max entries per partition (0 = all)
+};
+
+Bytes encode_op(const Op& op);
+Op decode_op(const Bytes& data);
+
+struct Result {
+  Status status = Status::kOk;
+  Bytes value;                                          // read
+  std::vector<std::pair<std::string, Bytes>> entries;   // scan
+};
+
+Bytes encode_result(const Result& r);
+Result decode_result(const Bytes& data);
+
+// --- replica state machine ---
+
+/// In-memory ordered tree per replica (like the paper's prototype).
+class KvStateMachine final : public smr::StateMachine {
+ public:
+  Bytes apply(GroupId group, const Bytes& op) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+
+  std::size_t size() const { return data_.size(); }
+  std::optional<Bytes> get(const std::string& key) const;
+  /// Direct load used to pre-populate benchmarks (bypasses consensus).
+  void preload(std::string key, Bytes value);
+  /// Order-sensitive digest of the full contents (replica-equality checks).
+  std::uint64_t digest() const;
+
+ private:
+  std::map<std::string, Bytes> data_;
+};
+
+// --- deployment ---
+
+struct StoreOptions {
+  std::size_t partitions = 3;
+  std::size_t replicas_per_partition = 3;
+  bool global_ring = true;  // false = the paper's "independent rings" config
+  std::uint32_t merge_m = 1;
+  ringpaxos::RingParams ring_params;    // per-partition rings
+  ringpaxos::RingParams global_params;  // the global ring
+  smr::ReplicaOptions replica_options;
+  std::string partitioner;  // encoded; default: hash over `partitions`
+  ProcessId first_pid = 100;
+  GroupId first_group = 0;
+  /// Optional site assignment: partition i's processes live at site
+  /// sites[i % sites.size()] (empty = no site model).
+  std::vector<int> sites;
+};
+
+/// Everything a client or test needs to talk to a deployed store.
+struct StoreDeployment {
+  std::vector<GroupId> partition_groups;          // group of partition i
+  GroupId global_group = -1;                      // -1 if independent rings
+  std::vector<std::vector<ProcessId>> replicas;   // replicas of partition i
+  std::shared_ptr<Partitioner> partitioner;
+
+  std::vector<ProcessId> all_replicas() const;
+};
+
+/// Creates rings and replica processes for a full MRP-Store deployment.
+StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
+                            const StoreOptions& options);
+
+}  // namespace mrp::mrpstore

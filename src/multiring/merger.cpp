@@ -1,0 +1,133 @@
+#include "multiring/merger.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mrp::multiring {
+
+DeterministicMerger::DeterministicMerger(std::vector<GroupId> groups,
+                                         std::uint32_t m, DeliverFn deliver)
+    : groups_(std::move(groups)), m_(m), deliver_(std::move(deliver)) {
+  MRP_CHECK_MSG(!groups_.empty(), "merger needs at least one group");
+  MRP_CHECK(m_ >= 1);
+  MRP_CHECK(deliver_ != nullptr);
+  std::sort(groups_.begin(), groups_.end());
+  MRP_CHECK_MSG(
+      std::adjacent_find(groups_.begin(), groups_.end()) == groups_.end(),
+      "duplicate group subscription");
+  for (GroupId g : groups_) state_[g];
+}
+
+void DeterministicMerger::on_decision(GroupId group, InstanceId instance,
+                                      const paxos::Value& v) {
+  auto it = state_.find(group);
+  MRP_CHECK_MSG(it != state_.end(), "decision for unsubscribed group");
+  GroupState& gs = it->second;
+  const std::uint64_t span = std::max<std::uint64_t>(1, v.skip_count);
+  if (instance + span <= gs.next) return;  // fully merged pre-checkpoint
+  if (instance < gs.next) {
+    // A skip range straddling the installed checkpoint tuple: the prefix
+    // below gs.next was already reflected in the checkpoint; only the
+    // suffix still consumes merge quota.
+    MRP_CHECK_MSG(v.is_skip(), "non-skip values span one instance");
+    paxos::Value suffix = v;
+    suffix.skip_count = static_cast<std::uint32_t>(instance + span - gs.next);
+    gs.queue.emplace_back(gs.next, suffix);
+    gs.next = instance + span;
+    pump();
+    return;
+  }
+  MRP_CHECK_MSG(instance == gs.next,
+                "ring handler must deliver contiguous instances");
+  gs.next = instance + span;
+  gs.queue.emplace_back(instance, v);
+  pump();
+}
+
+void DeterministicMerger::pump() {
+  if (paused_ || pumping_) return;
+  pumping_ = true;
+  for (;;) {
+    GroupState& gs = state_[groups_[cursor_]];
+    if (gs.queue.empty()) break;  // stalled on this group
+    auto& [instance, value] = gs.queue.front();
+    const std::uint64_t span = std::max<std::uint64_t>(1, value.skip_count);
+    if (value.is_skip()) {
+      // A skip range is consumed instance by instance so that every group
+      // advances at the same *instance* rate ("M consensus instances from
+      // ring i"); a range larger than the remaining window spills into this
+      // group's next turns.
+      const std::uint64_t take =
+          std::min(span - gs.front_consumed,
+                   static_cast<std::uint64_t>(m_) - consumed_);
+      gs.front_consumed += take;
+      skipped_ += take;
+      consumed_ += take;
+    } else {
+      ++delivered_;
+      deliver_(groups_[cursor_], instance, value);
+      gs.front_consumed = span;
+      consumed_ += span;
+    }
+    if (gs.front_consumed >= span) {
+      gs.queue.pop_front();
+      gs.front_consumed = 0;
+    }
+    if (consumed_ >= m_) {
+      consumed_ = 0;
+      cursor_ = (cursor_ + 1) % groups_.size();
+      if (cursor_ == 0 && on_boundary_) on_boundary_();
+    }
+    if (paused_) break;
+  }
+  pumping_ = false;
+}
+
+void DeterministicMerger::pause() { paused_ = true; }
+
+void DeterministicMerger::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  pump();
+}
+
+storage::CheckpointTuple DeterministicMerger::tuple() const {
+  storage::CheckpointTuple t;
+  for (const auto& [g, gs] : state_) {
+    // The tuple reflects what has been *merged*, not what is buffered:
+    // buffered-but-unmerged decisions are replayable from the ring. A
+    // partially consumed skip range counts its consumed prefix as merged.
+    t[g] = gs.queue.empty() ? gs.next
+                            : gs.queue.front().first + gs.front_consumed;
+  }
+  return t;
+}
+
+void DeterministicMerger::install_tuple(const storage::CheckpointTuple& t) {
+  MRP_CHECK_MSG(t.size() == state_.size(), "tuple/subscription mismatch");
+  for (const auto& [g, next] : t) {
+    auto it = state_.find(g);
+    MRP_CHECK_MSG(it != state_.end(), "tuple group not subscribed");
+    GroupState& gs = it->second;
+    gs.front_consumed = 0;
+    while (!gs.queue.empty()) {
+      const auto& [instance, value] = gs.queue.front();
+      const std::uint64_t span = std::max<std::uint64_t>(1, value.skip_count);
+      if (instance + span <= next) {
+        gs.queue.pop_front();  // fully below the checkpoint
+      } else if (instance < next) {
+        gs.front_consumed = next - instance;  // checkpoint mid-range
+        break;
+      } else {
+        break;
+      }
+    }
+    gs.next = std::max(gs.next, next);
+  }
+  cursor_ = 0;
+  consumed_ = 0;
+  pump();
+}
+
+}  // namespace mrp::multiring

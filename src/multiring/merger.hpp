@@ -1,0 +1,99 @@
+// Deterministic merge (Section 4).
+//
+// A learner subscribed to several groups delivers the decision streams of
+// those groups round-robin in increasing group-id order, M consensus
+// instances at a time. All learners with the same subscription set therefore
+// produce the identical merged sequence — the property MRP's atomic
+// multicast order rests on.
+//
+// Skip instances (rate leveling) consume merge quota but are not delivered
+// to the application. A skip-range value covers `skip_count` consecutive
+// instances and is consumed instance by instance — a range larger than the
+// remaining M-window spills into the group's subsequent turns, so every
+// group advances at the same instance rate regardless of how skips are
+// packed into messages (all learners apply the same rule: determinism).
+//
+// The merger also exposes the checkpoint tuple (next-undelivered instance
+// per group) and reports merge-round boundaries; checkpoints are taken only
+// at boundaries so that tuples of same-partition replicas are totally
+// ordered (Predicate 1 of Section 5.2).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "paxos/paxos.hpp"
+#include "storage/checkpoint_store.hpp"
+
+namespace mrp::multiring {
+
+class DeterministicMerger {
+ public:
+  /// deliver(group, instance, value): application-visible messages only
+  /// (skips filtered), in the deterministic merge order.
+  using DeliverFn =
+      std::function<void(GroupId, InstanceId, const paxos::Value&)>;
+  /// Invoked every time a full round (M instances from every group) ends.
+  using BoundaryFn = std::function<void()>;
+
+  DeterministicMerger(std::vector<GroupId> groups, std::uint32_t m,
+                      DeliverFn deliver);
+
+  void set_boundary_hook(BoundaryFn fn) { on_boundary_ = std::move(fn); }
+
+  /// Feeds one decided instance of `group`. Must be called in instance order
+  /// per group with contiguous coverage (RingHandler guarantees this).
+  void on_decision(GroupId group, InstanceId instance, const paxos::Value& v);
+
+  /// Pauses application delivery (decisions buffer); used while a replica
+  /// writes a checkpoint synchronously.
+  void pause();
+  void resume();
+  bool paused() const { return paused_; }
+
+  /// Checkpoint tuple: next instance of each group not yet merged.
+  storage::CheckpointTuple tuple() const;
+
+  /// Installs a checkpoint tuple: per-group cursors jump forward and the
+  /// round-robin cursor resets to the first group (a round boundary).
+  /// Buffered decisions below the new cursors are discarded.
+  void install_tuple(const storage::CheckpointTuple& t);
+
+  bool at_round_boundary() const {
+    return cursor_ == 0 && consumed_ == 0;
+  }
+
+  const std::vector<GroupId>& groups() const { return groups_; }
+  std::uint32_t m() const { return m_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t skipped_instances() const { return skipped_; }
+
+  /// Group the merger is currently waiting on (diagnostics).
+  GroupId waiting_on() const { return groups_[cursor_]; }
+
+ private:
+  struct GroupState {
+    std::deque<std::pair<InstanceId, paxos::Value>> queue;
+    InstanceId next = 0;  // next instance expected from the ring handler
+    std::uint64_t front_consumed = 0;  // consumed prefix of a skip range
+  };
+
+  void pump();
+
+  std::vector<GroupId> groups_;  // sorted ascending
+  std::uint32_t m_;
+  DeliverFn deliver_;
+  BoundaryFn on_boundary_;
+  std::map<GroupId, GroupState> state_;
+  std::size_t cursor_ = 0;       // index into groups_
+  std::uint64_t consumed_ = 0;   // instances consumed in current M-window
+  bool paused_ = false;
+  bool pumping_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace mrp::multiring

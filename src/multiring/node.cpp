@@ -1,0 +1,99 @@
+#include "multiring/node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "ringpaxos/messages.hpp"
+
+namespace mrp::multiring {
+
+MultiRingNode::MultiRingNode(sim::Env& env, ProcessId id,
+                             coord::Registry* registry, NodeConfig config)
+    : sim::Process(env, id), registry_(registry), config_(std::move(config)) {
+  MRP_CHECK(registry_ != nullptr);
+  MRP_CHECK_MSG(!config_.rings.empty(), "node participates in no ring");
+
+  std::vector<GroupId> learner_groups;
+  for (const RingSub& sub : config_.rings) {
+    if (sub.learner) learner_groups.push_back(sub.group);
+  }
+
+  if (!learner_groups.empty()) {
+    merger_ = std::make_unique<DeterministicMerger>(
+        learner_groups, config_.merge_m,
+        [this](GroupId g, InstanceId i, const paxos::Value& v) {
+          deliver_merged(g, i, v);
+        });
+    registry_->set_subscriptions(id, learner_groups);
+  }
+
+  for (const RingSub& sub : config_.rings) {
+    MRP_CHECK_MSG(handlers_.find(sub.group) == handlers_.end(),
+                  "duplicate ring in node config");
+    const bool learner = sub.learner;
+    auto handler = std::make_unique<ringpaxos::RingHandler>(
+        *this, *registry_, sub.group, sub.params,
+        [this, learner](GroupId g, InstanceId i, const paxos::Value& v) {
+          if (learner) merger_->on_decision(g, i, v);
+        });
+    handler->set_trimmed_gap_handler(
+        [this](GroupId g, InstanceId trimmed_to) {
+          on_trimmed_gap(g, trimmed_to);
+        });
+    handlers_[sub.group] = std::move(handler);
+  }
+}
+
+ValueId MultiRingNode::multicast(GroupId group, Payload payload) {
+  auto* h = handler(group);
+  MRP_CHECK_MSG(h != nullptr, "multicast to a ring this node has not joined");
+  return h->propose(std::move(payload));
+}
+
+ringpaxos::RingHandler* MultiRingNode::handler(GroupId group) {
+  auto it = handlers_.find(group);
+  return it == handlers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<GroupId> MultiRingNode::subscribed_groups() const {
+  std::vector<GroupId> out;
+  for (const RingSub& sub : config_.rings) {
+    if (sub.learner) out.push_back(sub.group);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MultiRingNode::on_message(ProcessId from, const sim::Message& m) {
+  if (m.kind() == coord::kMsgViewChange) {
+    const auto& vc = sim::msg_cast<coord::MsgViewChange>(m);
+    if (auto* h = handler(vc.view.ring)) h->on_view(vc.view);
+    return;
+  }
+  if (m.kind() >= 100 && m.kind() <= 199) {
+    const auto& rm = sim::msg_cast<ringpaxos::RingMessage>(m);
+    if (auto* h = handler(rm.ring)) h->handle(from, m);
+    return;
+  }
+  on_app_message(from, m);
+}
+
+void MultiRingNode::on_app_message(ProcessId /*from*/,
+                                   const sim::Message& /*m*/) {}
+
+void MultiRingNode::on_trimmed_gap(GroupId /*group*/,
+                                   InstanceId /*trimmed_to*/) {}
+
+void MultiRingNode::deliver_merged(GroupId group, InstanceId instance,
+                                   const paxos::Value& v) {
+  const GroupValueId key{group, v.id};
+  if (!delivered_ids_.insert(key).second) return;  // duplicate decision
+  delivered_order_.push_back(key);
+  if (delivered_order_.size() > 200'000) {
+    delivered_ids_.erase(delivered_order_.front());
+    delivered_order_.pop_front();
+  }
+  if (app_deliver_) app_deliver_(group, instance, v.payload);
+}
+
+}  // namespace mrp::multiring

@@ -1,0 +1,101 @@
+// MultiRingNode — a process participating in Multi-Ring Paxos.
+//
+// One node can join any number of rings (as proposer/acceptor per the ring
+// configuration) and subscribe to any subset of them as a learner; the
+// subscribed decision streams flow through the deterministic merger and come
+// out as the node's atomic-multicast delivery sequence. This is the paper's
+// "inverted" group-addressing model: clients address one group per multicast
+// and each server subscribes to whichever groups it replicates.
+//
+// Subclasses (smr::ReplicaNode, service nodes) override on_app_message for
+// their own message kinds and receive merged deliveries via set_deliver.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "coord/registry.hpp"
+#include "multiring/merger.hpp"
+#include "ringpaxos/ring_handler.hpp"
+#include "sim/env.hpp"
+#include "sim/process.hpp"
+
+namespace mrp::multiring {
+
+/// Declarative participation in one ring.
+struct RingSub {
+  GroupId group = -1;
+  ringpaxos::RingParams params;
+  bool learner = false;  // deliver this group through the merger
+};
+
+/// Full node configuration; copyable so Env::spawn can re-create the node
+/// with identical configuration after a crash.
+struct NodeConfig {
+  std::vector<RingSub> rings;
+  std::uint32_t merge_m = 1;  // M: instances per group per merge round
+};
+
+class MultiRingNode : public sim::Process {
+ public:
+  /// Application-level delivery (merged across subscribed groups; skips
+  /// already filtered). `instance` is the consensus instance in `group`.
+  using AppDeliverFn =
+      std::function<void(GroupId group, InstanceId instance, const Payload&)>;
+
+  MultiRingNode(sim::Env& env, ProcessId id, coord::Registry* registry,
+                NodeConfig config);
+
+  void set_deliver(AppDeliverFn fn) { app_deliver_ = std::move(fn); }
+
+  /// Atomic multicast: propose `payload` to `group` (must be a joined ring).
+  ValueId multicast(GroupId group, Payload payload);
+
+  coord::Registry& registry() { return *registry_; }
+  const NodeConfig& config() const { return config_; }
+  ringpaxos::RingHandler* handler(GroupId group);
+  DeterministicMerger* merger() { return merger_.get(); }
+  std::vector<GroupId> subscribed_groups() const;
+
+  void on_message(ProcessId from, const sim::Message& m) final;
+
+ protected:
+  /// Non-ring messages (client requests, recovery protocol, service
+  /// traffic). Default: drop.
+  virtual void on_app_message(ProcessId from, const sim::Message& m);
+
+  /// Hook invoked by the ring layer when an acceptor log was trimmed past a
+  /// gap this learner still needs (the replica must run full recovery).
+  virtual void on_trimmed_gap(GroupId group, InstanceId trimmed_to);
+
+ private:
+  void deliver_merged(GroupId group, InstanceId instance,
+                      const paxos::Value& v);
+
+  coord::Registry* registry_;
+  NodeConfig config_;
+  std::map<GroupId, std::unique_ptr<ringpaxos::RingHandler>> handlers_;
+  std::unique_ptr<DeterministicMerger> merger_;
+  AppDeliverFn app_deliver_;
+
+  // Exactly-once delivery: a value re-proposed across a coordinator change
+  // can be decided in two instances; the duplicate is suppressed here (all
+  // learners see identical merged streams, so they suppress identically).
+  // Keyed by (group, id): value-id sequences are per ring handler.
+  using GroupValueId = std::pair<GroupId, ValueId>;
+  struct GroupValueIdHash {
+    std::size_t operator()(const GroupValueId& g) const {
+      return ValueIdHash()(g.second) * 1099511628211ULL ^
+             static_cast<std::size_t>(g.first);
+    }
+  };
+  std::unordered_set<GroupValueId, GroupValueIdHash> delivered_ids_;
+  std::deque<GroupValueId> delivered_order_;
+};
+
+}  // namespace mrp::multiring

@@ -1,0 +1,29 @@
+#include "paxos/paxos.hpp"
+
+#include <bit>
+
+namespace mrp::paxos {
+
+std::optional<Value> choose_phase1_value(const std::vector<Promise>& promises) {
+  std::optional<Value> best;
+  Round best_round = 0;
+  bool any = false;
+  for (const Promise& p : promises) {
+    if (p.decided) return p.value;  // already decided: that value is fixed
+    if (p.vround > 0 && (!any || p.vround > best_round)) {
+      any = true;
+      best_round = p.vround;
+      best = p.value;
+    }
+  }
+  return best;
+}
+
+bool is_quorum(std::uint64_t votes, std::size_t total_acceptors) {
+  return static_cast<std::size_t>(std::popcount(votes)) >=
+         total_acceptors / 2 + 1;
+}
+
+int vote_count(std::uint64_t votes) { return std::popcount(votes); }
+
+}  // namespace mrp::paxos

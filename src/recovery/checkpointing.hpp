@@ -1,0 +1,93 @@
+// Replica checkpointing and recovery (Section 5.2).
+//
+// A Checkpointer is attached to a learner node (replica). It:
+//   * periodically snapshots the application state at a merge-round
+//     boundary and writes it synchronously to the simulated disk (delivery
+//     pauses while the write is in flight, like the paper's prototype),
+//   * answers the ring coordinators' trim queries with the tuple of its
+//     last *durable* checkpoint (quorum Q_T side of the protocol),
+//   * on restart, installs the local checkpoint, then queries its partition
+//     peers (quorum Q_R), installs the most recent remote checkpoint if it
+//     is ahead, and lets the ring-layer retransmission machinery replay the
+//     remaining instances,
+//   * handles the trimmed-gap signal (acceptors trimmed past what this
+//     replica needs) by re-running peer recovery.
+//
+// Q_T and Q_R are majorities of the replica's partition, so they intersect;
+// by Predicates 1-5 the best checkpoint in Q_R always covers everything the
+// acceptors may have trimmed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "multiring/node.hpp"
+#include "recovery/messages.hpp"
+#include "storage/checkpoint_store.hpp"
+
+namespace mrp::recovery {
+
+struct CheckpointerOptions {
+  TimeNs interval = 10 * kSecond;  // checkpoint period (0 = manual only)
+  int disk_index = 0;
+  TimeNs peer_retry = 1 * kSecond;  // re-query peers while short of Q_R
+};
+
+class Checkpointer {
+ public:
+  using SnapshotFn = std::function<Bytes()>;
+  using RestoreFn = std::function<void(const Bytes&)>;
+
+  Checkpointer(multiring::MultiRingNode& node, CheckpointerOptions options,
+               SnapshotFn snapshot, RestoreFn restore);
+
+  /// Call once after the node is fully constructed: installs the local
+  /// checkpoint and starts peer recovery if partition peers exist.
+  void start();
+
+  /// Routes recovery messages; returns true if consumed.
+  bool handle(ProcessId from, const sim::Message& m);
+
+  /// Trimmed-gap signal from the ring layer: re-run peer recovery.
+  void request_recovery();
+
+  /// Takes a checkpoint at the next merge-round boundary (or immediately if
+  /// already at one).
+  void checkpoint_soon();
+
+  bool recovering() const { return recovering_; }
+  std::uint64_t checkpoints_taken() const { return taken_; }
+  std::uint64_t remote_installs() const { return remote_installs_; }
+  const storage::CheckpointTuple& durable_tuple() const {
+    return durable_tuple_;
+  }
+  std::string partition_key() const;
+
+ private:
+  void periodic();
+  void take_checkpoint();
+  void install(const storage::Checkpoint& cp);
+  void query_peers();
+  void maybe_finish_peer_recovery();
+
+  multiring::MultiRingNode& node_;
+  CheckpointerOptions options_;
+  SnapshotFn snapshot_;
+  RestoreFn restore_;
+  storage::CheckpointStore store_;
+
+  storage::CheckpointTuple durable_tuple_;  // zeros until first durable save
+  bool pending_checkpoint_ = false;
+  bool saving_ = false;
+  std::uint64_t taken_ = 0;
+  std::uint64_t remote_installs_ = 0;
+
+  bool recovering_ = false;
+  std::map<ProcessId, MsgCkptInfo> peer_infos_;
+  bool fetch_inflight_ = false;
+};
+
+}  // namespace mrp::recovery

@@ -1,0 +1,87 @@
+#include "recovery/trim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "ringpaxos/messages.hpp"
+
+namespace mrp::recovery {
+
+TrimProtocol::TrimProtocol(multiring::MultiRingNode& node, TrimOptions options)
+    : node_(node), options_(options) {
+  if (options_.interval > 0) {
+    node_.every(options_.interval, [this] { tick(); });
+  }
+}
+
+void TrimProtocol::tick() {
+  for (const auto& sub : node_.config().rings) {
+    auto* h = node_.handler(sub.group);
+    if (h == nullptr || !h->is_coordinator()) continue;
+    rounds_[sub.group] = Round{};
+    for (ProcessId replica : node_.registry().subscribers(sub.group)) {
+      auto q = std::make_shared<MsgTrimQuery>();
+      q->group = sub.group;
+      node_.send(replica, q);
+    }
+  }
+}
+
+bool TrimProtocol::handle(ProcessId from, const sim::Message& m) {
+  if (m.kind() != kMsgTrimReply) return false;
+  const auto& reply = sim::msg_cast<MsgTrimReply>(m);
+  auto it = rounds_.find(reply.group);
+  if (it == rounds_.end() || it->second.done) return true;  // stale reply
+  it->second.replies[from] = reply.safe;
+  it->second.partition_of[from] = reply.partition_key;
+  maybe_trim(reply.group, it->second);
+  return true;
+}
+
+void TrimProtocol::maybe_trim(GroupId group, Round& round) {
+  // Group all subscribers of `group` by partition, then require a majority
+  // of every partition to have answered.
+  std::map<std::string, std::size_t> partition_size;
+  for (ProcessId p : node_.registry().subscribers(group)) {
+    std::string key;
+    for (GroupId g : node_.registry().subscriptions(p)) {
+      if (!key.empty()) key += ',';
+      key += std::to_string(g);
+    }
+    ++partition_size[key];
+  }
+  std::map<std::string, std::size_t> partition_replies;
+  for (const auto& [pid, key] : round.partition_of) {
+    (void)pid;
+    ++partition_replies[key];
+  }
+  for (const auto& [key, size] : partition_size) {
+    const std::size_t quorum = size / 2 + 1;
+    if (partition_replies[key] < quorum) return;  // Q_T not yet reached
+  }
+
+  // K[x]_T = min over the received safe instances (Predicate 2).
+  InstanceId k = std::numeric_limits<InstanceId>::max();
+  for (const auto& [_, safe] : round.replies) k = std::min(k, safe);
+  round.done = true;
+  if (k == 0 || k <= last_trim_[group]) return;  // nothing new to trim
+
+  last_trim_[group] = k;
+  ++trims_issued_;
+  auto* h = node_.handler(group);
+  MRP_CHECK(h != nullptr);
+  for (ProcessId a : h->view().acceptors) {
+    auto trim = std::make_shared<ringpaxos::MsgTrim>();
+    trim->ring = group;
+    trim->upto = k;
+    node_.send(a, trim);
+  }
+}
+
+InstanceId TrimProtocol::last_trim(GroupId g) const {
+  auto it = last_trim_.find(g);
+  return it == last_trim_.end() ? 0 : it->second;
+}
+
+}  // namespace mrp::recovery

@@ -1,0 +1,55 @@
+// Acceptor-log trimming protocol (Section 5.2).
+//
+// Periodically, the coordinator of each multicast group x asks the replicas
+// subscribed to x for the highest instance their last durable checkpoint
+// covers (k[x]_p). Once a majority of every partition subscribing x has
+// answered (quorum Q_T, per partition so that Q_T intersects the recovery
+// quorum Q_R of that partition), the coordinator takes the minimum K[x]_T
+// of the received values (Predicate 2) and instructs the ring's acceptors
+// to trim their logs below it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+#include "multiring/node.hpp"
+#include "recovery/messages.hpp"
+
+namespace mrp::recovery {
+
+struct TrimOptions {
+  TimeNs interval = 20 * kSecond;  // how often coordinators query (0 = manual)
+};
+
+class TrimProtocol {
+ public:
+  TrimProtocol(multiring::MultiRingNode& node, TrimOptions options);
+
+  /// Routes trim replies (at the coordinator); returns true if consumed.
+  bool handle(ProcessId from, const sim::Message& m);
+
+  /// Starts a query round now for every group this node coordinates.
+  void tick();
+
+  std::uint64_t trims_issued() const { return trims_issued_; }
+  InstanceId last_trim(GroupId g) const;
+
+ private:
+  struct Round {
+    std::map<ProcessId, InstanceId> replies;          // pid -> k[x]_p
+    std::map<ProcessId, std::string> partition_of;    // pid -> partition key
+    bool done = false;
+  };
+
+  void maybe_trim(GroupId group, Round& round);
+
+  multiring::MultiRingNode& node_;
+  TrimOptions options_;
+  std::map<GroupId, Round> rounds_;
+  std::map<GroupId, InstanceId> last_trim_;
+  std::uint64_t trims_issued_ = 0;
+};
+
+}  // namespace mrp::recovery

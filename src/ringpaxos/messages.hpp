@@ -1,0 +1,119 @@
+// Ring Paxos wire messages (kind range 100-199).
+//
+// Ring circulation: MsgProposal and MsgPhase2 travel the unidirectional ring
+// overlay (each member forwards to its successor in the current view);
+// MsgDecision is emitted by the acceptor whose vote completes a quorum and
+// circulates one full loop. Phase 1 and retransmission are point-to-point
+// (configuration/recovery traffic, not on the critical path).
+//
+// Every circulating message carries a TTL, decremented per hop, so that a
+// message orphaned by a membership change cannot loop forever.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "paxos/paxos.hpp"
+#include "sim/message.hpp"
+
+namespace mrp::ringpaxos {
+
+constexpr int kMsgProposal = 100;
+constexpr int kMsgPhase1A = 101;
+constexpr int kMsgPhase1B = 102;
+constexpr int kMsgPhase2 = 103;
+constexpr int kMsgDecision = 104;
+constexpr int kMsgRetransmitReq = 105;
+constexpr int kMsgRetransmitReply = 106;
+constexpr int kMsgTrim = 107;
+
+struct RingMessage : sim::Message {
+  GroupId ring = -1;
+  int ttl = 0;
+};
+
+/// A value on its way to the coordinator, forwarded along the ring.
+struct MsgProposal final : RingMessage {
+  paxos::Value value;
+  int kind() const override { return kMsgProposal; }
+  std::size_t wire_size() const override { return 16 + value.wire_size(); }
+};
+
+/// Phase 1 pre-execution for all instances >= floor (open-ended range),
+/// sent point-to-point by a newly elected coordinator.
+struct MsgPhase1A final : RingMessage {
+  Round round = 0;
+  InstanceId floor = 0;
+  int kind() const override { return kMsgPhase1A; }
+  std::size_t wire_size() const override { return 32; }
+};
+
+struct MsgPhase1B final : RingMessage {
+  Round round = 0;
+  ProcessId acceptor = kNoProcess;
+  InstanceId trimmed_to = 0;
+  std::vector<paxos::Promise> promises;  // non-trimmed records >= floor
+  int kind() const override { return kMsgPhase1B; }
+  std::size_t wire_size() const override {
+    std::size_t s = 40;
+    for (const auto& p : promises) s += 32 + p.value.payload.size();
+    return s;
+  }
+};
+
+/// Combined Phase 2A/2B: the proposed value plus the votes gathered so far
+/// (bitmask over the configured acceptor list). Circulates the full ring so
+/// that every member receives the value.
+struct MsgPhase2 final : RingMessage {
+  Round round = 0;
+  InstanceId instance = 0;
+  paxos::Value value;
+  std::uint64_t votes = 0;
+  int kind() const override { return kMsgPhase2; }
+  std::size_t wire_size() const override { return 40 + value.wire_size(); }
+};
+
+/// Decision notification; small (references the value by instance — members
+/// cache values from the Phase 2 pass). `with_value` is set when a decision
+/// is re-circulated after a coordinator change, in which case the payload
+/// rides along for members that missed the original Phase 2.
+struct MsgDecision final : RingMessage {
+  InstanceId instance = 0;
+  paxos::Value value;
+  bool with_value = false;
+  ProcessId origin = kNoProcess;
+  int kind() const override { return kMsgDecision; }
+  std::size_t wire_size() const override {
+    return 48 + (with_value ? value.wire_size() : 0);
+  }
+};
+
+/// Learner asks an acceptor for decided instances in [lo, hi).
+struct MsgRetransmitReq final : RingMessage {
+  InstanceId lo = 0;
+  InstanceId hi = 0;
+  int kind() const override { return kMsgRetransmitReq; }
+  std::size_t wire_size() const override { return 32; }
+};
+
+struct MsgRetransmitReply final : RingMessage {
+  InstanceId lo = 0;
+  InstanceId hi = 0;
+  InstanceId trimmed_to = 0;
+  std::vector<std::pair<InstanceId, paxos::Value>> decided;
+  int kind() const override { return kMsgRetransmitReply; }
+  std::size_t wire_size() const override {
+    std::size_t s = 48;
+    for (const auto& [_, v] : decided) s += 16 + v.wire_size();
+    return s;
+  }
+};
+
+/// Instructs an acceptor to trim its log below `upto` (recovery protocol).
+struct MsgTrim final : RingMessage {
+  InstanceId upto = 0;
+  int kind() const override { return kMsgTrim; }
+  std::size_t wire_size() const override { return 24; }
+};
+
+}  // namespace mrp::ringpaxos

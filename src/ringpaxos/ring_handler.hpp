@@ -1,0 +1,199 @@
+// One process's participation in one Ring Paxos ring.
+//
+// A RingHandler is a component embedded in a host sim::Process (the
+// multiring::MultiRingNode): the host demultiplexes incoming messages by
+// ring id and forwards them here. Depending on the current view and the
+// configured roles, the handler acts as proposer (propose / retry), acceptor
+// (vote + stable log + retransmission + trim), coordinator (Phase 1,
+// instance pipeline, rate leveling), and learner (ordered decision stream).
+//
+// Delivery contract: `deliver` is invoked exactly once per consensus
+// instance, in instance order, starting from the delivery floor. Skip values
+// are delivered too (the deterministic merger consumes their quota); a skip
+// covers `skip_count` consecutive instances.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "coord/registry.hpp"
+#include "paxos/paxos.hpp"
+#include "ringpaxos/messages.hpp"
+#include "sim/process.hpp"
+#include "storage/acceptor_log.hpp"
+
+namespace mrp::ringpaxos {
+
+struct RingParams {
+  storage::WriteMode write_mode = storage::WriteMode::Memory;
+  int disk_index = 0;
+  /// Background CPU per logged byte in async mode (models the paper's
+  /// Java-GC overhead for heap-buffered async writes; 0 disables).
+  double log_background_ns_per_byte = 0.0;
+
+  std::size_t window = 4096;  // max undecided instances at the coordinator
+
+  TimeNs phase2_retry = 500 * kMillisecond;   // coordinator re-send
+  TimeNs proposal_retry = 1000 * kMillisecond;  // proposer re-send
+  TimeNs gap_timeout = 50 * kMillisecond;     // learner gap -> retransmit
+
+  /// Retransmission serving (recovery traffic): at most this many instances
+  /// per reply (the learner re-requests the remainder), and reading +
+  /// serializing log records costs the acceptor CPU per byte (the paper's
+  /// "re-proposals due to recovery traffic" effect, Figure 8 event 5).
+  std::size_t max_retransmit_instances = 20'000;
+  double retransmit_cpu_ns_per_byte = 1.0;
+
+  /// Deleting trimmed records costs the acceptor CPU (BDB range deletes;
+  /// Figure 8 event 3).
+  TimeNs trim_cpu_per_record = 500;
+
+  // Rate leveling (Section 4): every skip_interval (Delta) the coordinator
+  // tops the ring up to lambda instances/sec with one skip-range proposal.
+  TimeNs skip_interval = 5 * kMillisecond;  // Delta
+  double lambda = 0.0;                      // max expected msgs/sec; 0 = off
+};
+
+class RingHandler {
+ public:
+  /// deliver(ring, instance, value): ordered decision stream (see above).
+  using DeliverFn =
+      std::function<void(GroupId, InstanceId, const paxos::Value&)>;
+  /// Called when a gap cannot be retransmitted because acceptors trimmed
+  /// past it: the replica must run full recovery (fetch a remote checkpoint).
+  using TrimmedGapFn = std::function<void(GroupId, InstanceId trimmed_to)>;
+
+  RingHandler(sim::Process& host, coord::Registry& registry, GroupId ring,
+              RingParams params, DeliverFn deliver);
+
+  GroupId ring() const { return ring_; }
+  const RingParams& params() const { return params_; }
+  const coord::RingView& view() const { return view_; }
+  bool is_coordinator() const;
+  bool is_acceptor() const;
+  Round round() const { return coord_.round; }
+  InstanceId next_delivery() const { return next_delivery_; }
+  storage::AcceptorLog* log() { return log_.get(); }
+
+  void set_trimmed_gap_handler(TrimmedGapFn fn) { on_trimmed_gap_ = std::move(fn); }
+
+  /// Multicasts a payload to this ring's group. The value is forwarded along
+  /// the ring to the coordinator and retried until a decision with its value
+  /// id is observed.
+  ValueId propose(Payload payload);
+
+  /// Handles a ring message (host demultiplexed by ring id already).
+  void handle(ProcessId from, const sim::Message& m);
+
+  /// View change notification from the registry.
+  void on_view(const coord::RingView& v);
+
+  /// Sets the next instance to deliver (recovering replica installs its
+  /// checkpoint tuple); discards buffered decisions below.
+  void set_delivery_floor(InstanceId next);
+
+  /// Requests retransmission of [next_delivery, hi) immediately (recovery).
+  void request_retransmission(InstanceId hi);
+
+  // --- statistics (benches/tests) ---
+  std::uint64_t decided_count() const { return decided_count_; }
+  std::uint64_t skip_count() const { return skips_decided_; }
+  std::size_t buffered() const { return decided_buffer_.size(); }
+  InstanceId decision_hint() const { return pending_decision_hint_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  friend class CoordinatorOps;
+
+  struct CoordinatorState {
+    bool active = false;
+    bool phase1_done = false;
+    Round round = 0;
+    InstanceId next_instance = 0;
+    std::deque<paxos::Value> pending;                // waiting for window
+    std::map<InstanceId, paxos::Value> inflight;     // proposed, undecided
+    std::map<InstanceId, TimeNs> proposed_at;
+    std::map<ProcessId, MsgPhase1B> phase1_replies;
+    std::unordered_set<ValueId, ValueIdHash> known_ids;  // dedup (bounded)
+    std::deque<ValueId> known_order;
+    std::uint64_t interval_value_instances = 0;  // rate-leveling counter
+  };
+
+  struct OwnProposal {
+    paxos::Value value;
+    TimeNs sent_at = 0;
+  };
+
+  // --- member/acceptor paths (ring_process.cpp) ---
+  void handle_proposal(const MsgProposal& m);
+  void handle_phase2(ProcessId from, const MsgPhase2& m);
+  void phase2_accepted(MsgPhase2 out);
+  void handle_decision(const MsgDecision& m);
+  void handle_retransmit_req(ProcessId from, const MsgRetransmitReq& m);
+  void handle_retransmit_reply(const MsgRetransmitReply& m);
+  void handle_trim(const MsgTrim& m);
+  void proposal_retry_tick();
+  void learn(InstanceId instance, const paxos::Value& value);
+  void flush_ordered();
+  void check_gap();
+  void forward(sim::MessagePtr m);
+  ProcessId successor() const;
+  int acceptor_bit() const;
+  std::uint64_t own_vote_bit() const;
+  ValueId next_value_id();
+
+  // --- coordinator paths (coordinator.cpp) ---
+  void become_coordinator();
+  void resign_coordinator();
+  void handle_phase1a(ProcessId from, const MsgPhase1A& m);
+  void handle_phase1b(const MsgPhase1B& m);
+  void maybe_finish_phase1();
+  void coordinator_enqueue(paxos::Value v);
+  void drain_pending();
+  void start_instance(InstanceId instance, paxos::Value v);
+  void coordinator_on_decision(InstanceId instance, const paxos::Value& v);
+  void rate_level_tick();
+  void retry_tick();
+  void remember_id(const ValueId& id);
+
+  sim::Process& host_;
+  coord::Registry& registry_;
+  GroupId ring_;
+  RingParams params_;
+  DeliverFn deliver_;
+  TrimmedGapFn on_trimmed_gap_;
+
+  coord::RingView view_;
+  std::unique_ptr<storage::AcceptorLog> log_;  // present iff configured acceptor
+  bool configured_acceptor_ = false;
+  int configured_acceptor_index_ = -1;
+
+  // Learner state: values seen (from Phase 2), decisions buffered until
+  // contiguous, and the ordered-delivery watermark.
+  std::unordered_map<InstanceId, paxos::Value> value_cache_;
+  std::map<InstanceId, paxos::Value> decided_buffer_;
+  std::set<InstanceId> decisions_without_value_;  // decision beat the value
+  InstanceId next_delivery_ = 0;
+  InstanceId pending_decision_hint_ = 0;  // highest decided instance heard + 1
+  TimeNs last_progress_ = 0;
+  bool retransmit_inflight_ = false;
+
+  // Proposer state.
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<ValueId, OwnProposal, ValueIdHash> own_proposals_;
+
+  CoordinatorState coord_;
+
+  std::uint64_t decided_count_ = 0;
+  std::uint64_t skips_decided_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace mrp::ringpaxos

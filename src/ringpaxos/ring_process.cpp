@@ -1,0 +1,442 @@
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "ringpaxos/ring_handler.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::ringpaxos {
+
+namespace {
+int ttl_for(const coord::RingView& v) {
+  return static_cast<int>(v.members.size()) + 2;
+}
+}  // namespace
+
+RingHandler::RingHandler(sim::Process& host, coord::Registry& registry,
+                         GroupId ring, RingParams params, DeliverFn deliver)
+    : host_(host),
+      registry_(registry),
+      ring_(ring),
+      params_(params),
+      deliver_(std::move(deliver)) {
+  MRP_CHECK(deliver_ != nullptr);
+  const coord::RingConfig& cfg = registry_.config(ring);
+  configured_acceptor_ = cfg.acceptors.count(host_.id()) > 0;
+  if (configured_acceptor_) {
+    configured_acceptor_index_ = static_cast<int>(std::distance(
+        cfg.acceptors.begin(), cfg.acceptors.find(host_.id())));
+    MRP_CHECK_MSG(cfg.acceptors.size() <= 64, "vote mask holds 64 acceptors");
+    log_ = std::make_unique<storage::AcceptorLog>(
+        host_.env(), host_.id(), ring_, params_.write_mode, params_.disk_index);
+  }
+  // Read the cached view synchronously (ZK client cache); watch for changes.
+  view_ = registry_.current_view(ring_);
+  registry_.watch_ring(ring_, host_.id());
+  if (view_.coordinator == host_.id()) become_coordinator();
+
+  last_progress_ = host_.now();
+  host_.every(params_.gap_timeout, [this] { check_gap(); });
+  host_.every(params_.phase2_retry, [this] { retry_tick(); });
+  host_.every(params_.proposal_retry, [this] { proposal_retry_tick(); });
+  if (params_.lambda > 0) {
+    host_.every(params_.skip_interval, [this] { rate_level_tick(); });
+  }
+}
+
+bool RingHandler::is_coordinator() const {
+  return view_.coordinator == host_.id();
+}
+
+bool RingHandler::is_acceptor() const { return configured_acceptor_; }
+
+int RingHandler::acceptor_bit() const { return configured_acceptor_index_; }
+
+std::uint64_t RingHandler::own_vote_bit() const {
+  MRP_CHECK(configured_acceptor_);
+  return 1ULL << configured_acceptor_index_;
+}
+
+ProcessId RingHandler::successor() const {
+  if (!view_.contains(host_.id())) return kNoProcess;
+  return view_.successor(host_.id());
+}
+
+void RingHandler::forward(sim::MessagePtr m) {
+  const ProcessId next = successor();
+  if (next == kNoProcess || next == host_.id()) return;
+  host_.send(next, std::move(m));
+}
+
+ValueId RingHandler::next_value_id() { return ValueId{host_.id(), ++next_seq_}; }
+
+ValueId RingHandler::propose(Payload payload) {
+  paxos::Value v;
+  v.id = next_value_id();
+  v.payload = std::move(payload);
+  own_proposals_[v.id] = OwnProposal{v, host_.now()};
+
+  if (is_coordinator() && coord_.active) {
+    coordinator_enqueue(v);
+  } else {
+    auto msg = std::make_shared<MsgProposal>();
+    msg->ring = ring_;
+    msg->ttl = ttl_for(view_);
+    msg->value = v;
+    if (view_.contains(host_.id())) {
+      forward(msg);
+    } else if (view_.coordinator != kNoProcess) {
+      // Not (yet) a ring member: hand the value to the coordinator directly.
+      host_.send(view_.coordinator, msg);
+    }
+  }
+  return v.id;
+}
+
+void RingHandler::proposal_retry_tick() {
+  const TimeNs now = host_.now();
+  for (auto& [id, p] : own_proposals_) {
+    if (now - p.sent_at < params_.proposal_retry) continue;
+    p.sent_at = now;
+    if (is_coordinator() && coord_.active) {
+      coordinator_enqueue(p.value);
+      continue;
+    }
+    auto msg = std::make_shared<MsgProposal>();
+    msg->ring = ring_;
+    msg->ttl = ttl_for(view_);
+    msg->value = p.value;
+    if (view_.contains(host_.id())) {
+      forward(msg);
+    } else if (view_.coordinator != kNoProcess) {
+      host_.send(view_.coordinator, msg);
+    }
+  }
+}
+
+void RingHandler::handle(ProcessId from, const sim::Message& m) {
+  switch (m.kind()) {
+    case kMsgProposal:
+      handle_proposal(sim::msg_cast<MsgProposal>(m));
+      return;
+    case kMsgPhase1A:
+      handle_phase1a(from, sim::msg_cast<MsgPhase1A>(m));
+      return;
+    case kMsgPhase1B:
+      handle_phase1b(sim::msg_cast<MsgPhase1B>(m));
+      return;
+    case kMsgPhase2:
+      handle_phase2(from, sim::msg_cast<MsgPhase2>(m));
+      return;
+    case kMsgDecision:
+      handle_decision(sim::msg_cast<MsgDecision>(m));
+      return;
+    case kMsgRetransmitReq:
+      handle_retransmit_req(from, sim::msg_cast<MsgRetransmitReq>(m));
+      return;
+    case kMsgRetransmitReply:
+      handle_retransmit_reply(sim::msg_cast<MsgRetransmitReply>(m));
+      return;
+    case kMsgTrim:
+      handle_trim(sim::msg_cast<MsgTrim>(m));
+      return;
+    default:
+      MRP_CHECK_MSG(false, "unknown ring message kind");
+  }
+}
+
+void RingHandler::on_view(const coord::RingView& v) {
+  MRP_CHECK(v.ring == ring_);
+  if (v.epoch < view_.epoch) return;  // stale notification
+  view_ = v;
+  if (view_.coordinator == host_.id()) {
+    if (!coord_.active) become_coordinator();
+  } else if (coord_.active) {
+    resign_coordinator();
+  }
+}
+
+void RingHandler::handle_proposal(const MsgProposal& m) {
+  if (is_coordinator() && coord_.active) {
+    coordinator_enqueue(m.value);
+    return;
+  }
+  if (m.ttl <= 0) return;
+  auto copy = std::make_shared<MsgProposal>(m);
+  copy->ttl = m.ttl - 1;
+  forward(copy);
+}
+
+void RingHandler::handle_phase2(ProcessId /*from*/, const MsgPhase2& m) {
+  // The coordinator consumes its own Phase 2 when it completes the loop
+  // (it logged and voted at start_instance already).
+  if (coord_.active && m.round == coord_.round && is_coordinator()) return;
+
+  // Cache the value for delivery and retransmission. If the decision for
+  // this instance raced ahead of the value (possible after reconfiguration
+  // re-sends), learn now.
+  value_cache_[m.instance] = m.value;
+  if (decisions_without_value_.erase(m.instance) > 0) {
+    if (log_) log_->mark_decided(m.instance);
+    learn(m.instance, m.value);
+    if (coord_.active) coordinator_on_decision(m.instance, m.value);
+  }
+
+  if (configured_acceptor_ && log_ && m.round >= log_->promised()) {
+    if (m.round > log_->promised()) log_->promise(m.round, nullptr);
+    MsgPhase2 out = m;
+    out.ttl = m.ttl - 1;
+    paxos::LogRecord rec;
+    rec.vround = m.round;
+    rec.value = m.value;
+    const std::size_t logged = 40 + m.value.payload.size();
+    if (params_.write_mode == storage::WriteMode::Async &&
+        params_.log_background_ns_per_byte > 0) {
+      host_.charge_background(static_cast<TimeNs>(
+          params_.log_background_ns_per_byte * static_cast<double>(logged)));
+    }
+    // Log before voting (Section 5.1): the vote leaves this process only
+    // once the record is durable (per write mode).
+    log_->accept(m.instance, rec,
+                 host_.guard([this, out = std::move(out)]() mutable {
+                   phase2_accepted(std::move(out));
+                 }));
+    return;
+  }
+
+  if (m.ttl <= 0) return;
+  auto copy = std::make_shared<MsgPhase2>(m);
+  copy->ttl = m.ttl - 1;
+  forward(copy);
+}
+
+void RingHandler::phase2_accepted(MsgPhase2 out) {
+  const std::uint64_t before = out.votes;
+  out.votes |= own_vote_bit();
+
+  const bool crossed = !paxos::is_quorum(before, view_.total_acceptors) &&
+                       paxos::is_quorum(out.votes, view_.total_acceptors);
+  const InstanceId instance = out.instance;
+  const paxos::Value value = out.value;
+
+  // The value must keep circulating *ahead of* the decision: links are
+  // FIFO, so sending Phase 2 first guarantees every downstream member has
+  // the value cached by the time the decision notification arrives.
+  if (out.ttl > 0) {
+    forward(std::make_shared<MsgPhase2>(std::move(out)));
+  }
+
+  if (crossed) {
+    // This vote completed the quorum: this acceptor announces the decision.
+    if (log_) log_->mark_decided(instance);
+    auto dec = std::make_shared<MsgDecision>();
+    dec->ring = ring_;
+    dec->ttl = ttl_for(view_);
+    dec->instance = instance;
+    dec->value = value;
+    dec->with_value = false;
+    dec->origin = host_.id();
+    learn(instance, value);
+    if (coord_.active) coordinator_on_decision(instance, value);
+    forward(dec);
+  }
+}
+
+void RingHandler::handle_decision(const MsgDecision& m) {
+  if (m.with_value) value_cache_[m.instance] = m.value;
+
+  paxos::Value value;
+  bool have_value = false;
+  if (m.with_value) {
+    value = m.value;
+    have_value = true;
+  } else if (auto it = value_cache_.find(m.instance); it != value_cache_.end()) {
+    value = it->second;
+    have_value = true;
+  } else if (log_) {
+    if (auto rec = log_->get(m.instance)) {
+      value = rec->value;
+      have_value = true;
+    }
+  }
+
+  if (have_value) {
+    if (log_) {
+      // Make sure the record exists (e.g. decision learned via
+      // recirculation after a view change) and is marked decided.
+      if (!log_->get(m.instance)) {
+        paxos::LogRecord rec;
+        rec.vround = coord_.round;
+        rec.value = value;
+        rec.decided = true;
+        log_->accept(m.instance, rec, nullptr);
+      }
+      log_->mark_decided(m.instance);
+    }
+    learn(m.instance, value);
+    if (coord_.active) coordinator_on_decision(m.instance, value);
+  } else {
+    // Decision without the value: remember it so a late-arriving Phase 2
+    // resolves it immediately, and advance the hint so the gap timer can
+    // fall back to retransmission.
+    if (m.instance >= next_delivery_) {
+      decisions_without_value_.insert(m.instance);
+    }
+    pending_decision_hint_ = std::max(pending_decision_hint_, m.instance + 1);
+  }
+
+  if (m.origin == host_.id()) return;  // completed the loop
+  if (m.ttl <= 0) return;
+  auto copy = std::make_shared<MsgDecision>(m);
+  copy->ttl = m.ttl - 1;
+  forward(copy);
+}
+
+void RingHandler::learn(InstanceId instance, const paxos::Value& value) {
+  const std::uint64_t span = std::max<std::uint64_t>(1, value.skip_count);
+  // Drop only if fully below the delivery floor: a skip range straddling
+  // the floor (mid-range checkpoint) must still be delivered; downstream
+  // consumers trim the already-covered prefix.
+  if (instance + span <= next_delivery_) return;
+  if (decided_buffer_.count(instance)) return;
+  decided_buffer_[instance] = value;
+  ++decided_count_;
+  if (value.is_skip()) ++skips_decided_;
+  pending_decision_hint_ =
+      std::max(pending_decision_hint_,
+               instance + std::max<std::uint64_t>(1, value.skip_count));
+  flush_ordered();
+}
+
+void RingHandler::flush_ordered() {
+  for (;;) {
+    if (decided_buffer_.empty()) break;
+    const InstanceId inst = decided_buffer_.begin()->first;
+    const paxos::Value& front = decided_buffer_.begin()->second;
+    const std::uint64_t span = std::max<std::uint64_t>(1, front.skip_count);
+    // Deliverable when it starts at the floor or straddles it (skip range
+    // partially covered by an installed checkpoint).
+    if (inst > next_delivery_ || inst + span <= next_delivery_) {
+      if (inst + span <= next_delivery_) {
+        decided_buffer_.erase(decided_buffer_.begin());
+        continue;
+      }
+      break;
+    }
+    auto node = decided_buffer_.extract(decided_buffer_.begin());
+    const paxos::Value& v = node.mapped();
+    deliver_(ring_, inst, v);
+    own_proposals_.erase(v.id);
+    value_cache_.erase(inst);
+    next_delivery_ = inst + span;
+    last_progress_ = host_.now();
+  }
+  // Anything below the floor is resolved; drop stale value-less markers.
+  decisions_without_value_.erase(
+      decisions_without_value_.begin(),
+      decisions_without_value_.lower_bound(next_delivery_));
+}
+
+void RingHandler::check_gap() {
+  const bool behind = (!decided_buffer_.empty() &&
+                       decided_buffer_.begin()->first > next_delivery_) ||
+                      pending_decision_hint_ > next_delivery_;
+  if (!behind) return;
+  if (host_.now() - last_progress_ < params_.gap_timeout) return;
+  if (retransmit_inflight_ &&
+      host_.now() - last_progress_ < 4 * params_.gap_timeout) {
+    return;
+  }
+  InstanceId hi = pending_decision_hint_;
+  if (!decided_buffer_.empty()) {
+    hi = std::max(hi, decided_buffer_.begin()->first);
+  }
+  request_retransmission(hi);
+}
+
+void RingHandler::request_retransmission(InstanceId hi) {
+  if (hi <= next_delivery_) return;
+  auto req = std::make_shared<MsgRetransmitReq>();
+  req->ring = ring_;
+  req->lo = next_delivery_;
+  req->hi = hi;
+  // Prefer a remote acceptor; fall back to the local log.
+  for (ProcessId a : view_.acceptors) {
+    if (a == host_.id()) continue;
+    retransmit_inflight_ = true;
+    ++retransmissions_;
+    host_.send(a, req);
+    return;
+  }
+  if (log_) {
+    // Only acceptor left is this process: serve from the local log.
+    for (auto& [inst, rec] : log_->range(req->lo, req->hi)) {
+      if (rec.decided) learn(inst, rec.value);
+    }
+  }
+}
+
+void RingHandler::handle_retransmit_req(ProcessId from,
+                                        const MsgRetransmitReq& m) {
+  if (!log_) return;  // only acceptors hold logs
+  auto reply = std::make_shared<MsgRetransmitReply>();
+  reply->ring = ring_;
+  reply->lo = m.lo;
+  reply->hi = m.hi;
+  reply->trimmed_to = log_->trimmed_to();
+  std::size_t served = 0;
+  std::size_t bytes = 0;
+  for (auto& [inst, rec] : log_->range(m.lo, m.hi)) {
+    if (!rec.decided) continue;
+    reply->decided.emplace_back(inst, rec.value);
+    bytes += rec.value.payload.size() + 40;
+    if (++served >= params_.max_retransmit_instances) break;
+  }
+  // Reading and serializing the log records competes with the acceptor's
+  // ring duties — this is what makes recovery visible in Figure 8.
+  if (params_.retransmit_cpu_ns_per_byte > 0) {
+    host_.charge(static_cast<TimeNs>(params_.retransmit_cpu_ns_per_byte *
+                                     static_cast<double>(bytes)));
+  }
+  host_.send(from, reply);
+}
+
+void RingHandler::handle_retransmit_reply(const MsgRetransmitReply& m) {
+  retransmit_inflight_ = false;
+  if (m.trimmed_to > next_delivery_) {
+    // The acceptors no longer hold the instances this learner needs: the
+    // replica must install a checkpoint from a partition peer (Section 5.2).
+    if (on_trimmed_gap_) on_trimmed_gap_(ring_, m.trimmed_to);
+    return;
+  }
+  for (const auto& [inst, value] : m.decided) learn(inst, value);
+  // Replies are chunked (max_retransmit_instances); chase the remainder.
+  if (pending_decision_hint_ > next_delivery_ && !m.decided.empty()) {
+    request_retransmission(pending_decision_hint_);
+  }
+}
+
+void RingHandler::handle_trim(const MsgTrim& m) {
+  if (!log_) return;
+  const std::size_t before = log_->record_count();
+  log_->trim(m.upto);
+  const std::size_t removed = before - log_->record_count();
+  // Deleting log records is not free (BDB range deletes); large trims dent
+  // throughput, as in the paper's Figure 8 (event 3).
+  host_.charge(params_.trim_cpu_per_record *
+               static_cast<TimeNs>(removed));
+}
+
+void RingHandler::set_delivery_floor(InstanceId next) {
+  next_delivery_ = std::max(next_delivery_, next);
+  // Drop buffered decisions fully below the floor; keep straddling ranges
+  // (flush_ordered delivers them and the consumer trims the prefix).
+  while (!decided_buffer_.empty()) {
+    const auto& [inst, v] = *decided_buffer_.begin();
+    const std::uint64_t span = std::max<std::uint64_t>(1, v.skip_count);
+    if (inst + span > next_delivery_) break;
+    decided_buffer_.erase(decided_buffer_.begin());
+  }
+  flush_ordered();
+}
+
+}  // namespace mrp::ringpaxos

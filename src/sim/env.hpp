@@ -1,0 +1,145 @@
+// The simulation environment: owns the event loop, the network, every
+// process, per-process CPU accounting, disks, and crash-surviving stable
+// storage. This is the only stateful singleton a deployment needs; tests and
+// benches construct one Env per experiment.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/disk.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace mrp::sim {
+
+/// CPU service-time model for one process: handling a delivered message
+/// costs per_message + per_byte_ns * wire_size. While a process is busy,
+/// further deliveries queue (single-lane, run-to-completion).
+struct CpuParams {
+  TimeNs per_message = 0;
+  double per_byte_ns = 0.0;
+};
+
+class Env {
+ public:
+  explicit Env(std::uint64_t seed = 1);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  TimeNs now() const { return sim_.now(); }
+  Rng& rng() { return sim_.rng(); }
+
+  using ProcessFactory =
+      std::function<std::unique_ptr<Process>(Env&, ProcessId)>;
+
+  /// Registers and starts a process. The factory is retained and re-run on
+  /// recover(). Returns the live instance.
+  Process* add_process(ProcessId id, ProcessFactory factory);
+
+  /// Convenience: spawn<T>(id, args...) constructs T(env, id, args...),
+  /// capturing copies of args for reconstruction at recovery.
+  template <class T, class... Args>
+  T* spawn(ProcessId id, Args... args) {
+    auto tup = std::make_tuple(std::move(args)...);
+    return static_cast<T*>(add_process(
+        id, [tup = std::move(tup)](Env& env, ProcessId pid) {
+          return std::apply(
+              [&](const Args&... a) {
+                return std::make_unique<T>(env, pid, a...);
+              },
+              tup);
+        }));
+  }
+
+  Process* process(ProcessId id);
+  template <class T>
+  T* process_as(ProcessId id) {
+    auto* p = dynamic_cast<T*>(process(id));
+    MRP_CHECK_MSG(p != nullptr, "process type mismatch");
+    return p;
+  }
+
+  bool is_alive(ProcessId id) const;
+  std::uint64_t epoch(ProcessId id) const;
+  std::vector<ProcessId> all_processes() const;
+
+  /// Crashes a process: volatile state destroyed, queued messages dropped,
+  /// timers cancelled. Disks and stable() storage survive.
+  void crash(ProcessId id);
+
+  /// Re-runs the factory for a crashed process and starts it.
+  void recover(ProcessId id);
+
+  // --- CPU model & accounting ---
+  void set_cpu(ProcessId id, CpuParams p);
+  TimeNs cpu_busy(ProcessId id) const;
+  TimeNs cpu_background(ProcessId id) const;
+  void reset_cpu_accounting();
+
+  // --- disks (survive crashes) ---
+  Disk& disk(ProcessId id, int index = 0);
+  void set_disk_params(ProcessId id, int index, DiskParams p);
+
+  // --- stable storage (survives crashes) ---
+  /// Typed named slot tied to a process; default-constructed on first use.
+  template <class T>
+  T& stable(ProcessId id, const std::string& key) {
+    auto& slot = stable_[{id, key}];
+    if (!slot) {
+      slot = std::shared_ptr<void>(new T(), [](void* p) {
+        delete static_cast<T*>(p);
+      });
+    }
+    return *static_cast<T*>(slot.get());
+  }
+
+  // --- used by Process ---
+  void send_from(ProcessId from, ProcessId to, MessagePtr m);
+  void schedule_guarded(ProcessId pid, TimeNs delay, std::function<void()> fn);
+  std::function<void()> make_guard(ProcessId pid, std::function<void()> fn);
+  void charge(ProcessId pid, TimeNs cpu);
+  void charge_background(ProcessId pid, TimeNs cpu);
+
+ private:
+  struct Runtime {
+    std::unique_ptr<Process> proc;
+    ProcessFactory factory;
+    bool alive = false;
+    std::uint64_t epoch = 0;
+    CpuParams cpu;
+    std::deque<std::pair<ProcessId, MessagePtr>> queue;
+    bool running = false;  // a run_one event is scheduled
+    TimeNs busy_until = 0;
+    TimeNs busy_ns = 0;
+    TimeNs background_ns = 0;
+  };
+
+  void deliver(ProcessId from, ProcessId to, MessagePtr msg);
+  void pump(ProcessId pid);
+  void run_one(ProcessId pid);
+  Runtime& rt(ProcessId id);
+  const Runtime& rt(ProcessId id) const;
+
+  Simulator sim_;
+  Network net_;
+  std::map<ProcessId, Runtime> runtimes_;
+  std::map<std::pair<ProcessId, int>, std::unique_ptr<Disk>> disks_;
+  std::map<std::pair<ProcessId, std::string>, std::shared_ptr<void>> stable_;
+
+  ProcessId current_pid_ = kNoProcess;
+  TimeNs current_charge_ = 0;
+};
+
+}  // namespace mrp::sim

@@ -1,0 +1,84 @@
+// Simulated network: point-to-point reliable FIFO channels (TCP-like) with
+// per-link one-way latency and bandwidth. Links can be described three ways,
+// in priority order: an explicit per-pair override, a site-to-site latency
+// matrix (model of datacenters/regions), or the default link.
+//
+// Delivery to a crashed process is dropped at delivery time; pairs of
+// processes can additionally be partitioned (messages silently dropped) to
+// exercise fault-handling paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace mrp::sim {
+
+struct LinkParams {
+  TimeNs latency = 50 * kMicrosecond;  // one-way propagation delay
+  double bandwidth_bps = 10e9;         // link capacity in bits/sec
+};
+
+class Network {
+ public:
+  using DeliverFn =
+      std::function<void(ProcessId from, ProcessId to, MessagePtr msg)>;
+
+  Network(Simulator& sim, DeliverFn deliver);
+
+  void set_default_link(LinkParams p) { default_link_ = p; }
+
+  /// Symmetric per-pair override.
+  void set_link(ProcessId a, ProcessId b, LinkParams p);
+
+  /// Site model: assign processes to sites and give one-way latencies
+  /// between sites (intra-site pairs use the site's local latency).
+  void set_site(ProcessId p, int site);
+  void set_site_latency(int s1, int s2, TimeNs one_way_latency);
+  void set_site_local_latency(int site, TimeNs one_way_latency);
+  void set_site_bandwidth(double bps) { site_bandwidth_bps_ = bps; }
+  int site_of(ProcessId p) const;
+
+  /// Sends msg; it will be delivered (via the DeliverFn) after the link's
+  /// transmission + propagation delay, FIFO per (from, to) pair.
+  void send(ProcessId from, ProcessId to, MessagePtr msg);
+
+  /// Drops all traffic between a and b (both directions) while active.
+  void set_partitioned(ProcessId a, ProcessId b, bool partitioned);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct LinkState {
+    TimeNs free_at = 0;        // bandwidth serialization point
+    TimeNs last_delivery = 0;  // FIFO clamp
+  };
+
+  LinkParams resolve(ProcessId from, ProcessId to) const;
+  static std::uint64_t pair_key(ProcessId a, ProcessId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  Simulator& sim_;
+  DeliverFn deliver_;
+  LinkParams default_link_;
+  std::unordered_map<std::uint64_t, LinkParams> overrides_;  // unordered pair
+  std::unordered_map<ProcessId, int> sites_;
+  std::map<std::pair<int, int>, TimeNs> site_latency_;
+  std::unordered_map<int, TimeNs> site_local_latency_;
+  double site_bandwidth_bps_ = 10e9;
+  std::unordered_map<std::uint64_t, LinkState> links_;  // ordered pair
+  std::unordered_map<std::uint64_t, bool> partitioned_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace mrp::sim

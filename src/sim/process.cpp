@@ -1,0 +1,40 @@
+#include "sim/process.hpp"
+
+#include "sim/env.hpp"
+
+namespace mrp::sim {
+
+void Process::send(ProcessId to, MessagePtr m) {
+  env_.send_from(id_, to, std::move(m));
+}
+
+void Process::after(TimeNs delay, std::function<void()> fn) {
+  env_.schedule_guarded(id_, delay, std::move(fn));
+}
+
+void Process::every(TimeNs period, std::function<void()> fn) {
+  // Re-arming closure: each firing re-checks liveness via the epoch guard
+  // installed by schedule_guarded, so the chain dies with the process.
+  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+  std::function<void()> tick = [this, period, shared]() {
+    (*shared)();
+    every(period, *shared);
+  };
+  env_.schedule_guarded(id_, period, std::move(tick));
+}
+
+std::function<void()> Process::guard(std::function<void()> fn) {
+  return env_.make_guard(id_, std::move(fn));
+}
+
+void Process::charge(TimeNs cpu) { env_.charge(id_, cpu); }
+
+void Process::charge_background(TimeNs cpu) {
+  env_.charge_background(id_, cpu);
+}
+
+TimeNs Process::now() const { return env_.now(); }
+
+Rng& Process::rng() { return env_.rng(); }
+
+}  // namespace mrp::sim

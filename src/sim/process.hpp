@@ -1,0 +1,69 @@
+// Base class for simulated processes (proposers, acceptors, learners,
+// replicas, clients, baseline servers).
+//
+// Lifecycle: constructed by a factory registered with the Env, then
+// on_start() runs. Env::crash() destroys the object and drops its queued
+// messages and pending timers (they are epoch-guarded); Env::recover()
+// re-runs the factory — the fresh object reconstructs its state from the
+// Env's stable storage and disks, which survive crashes.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace mrp::sim {
+
+class Env;
+
+class Process {
+ public:
+  Process(Env& env, ProcessId id) : env_(env), id_(id) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+
+  /// Called once after construction (both initial start and recovery).
+  virtual void on_start() {}
+
+  /// Handles a delivered message. The runtime automatically charges this
+  /// process's configured per-message/per-byte CPU cost; handlers may add
+  /// extra cost with charge().
+  virtual void on_message(ProcessId from, const Message& m) = 0;
+
+  // --- services available to subclasses (public so harnesses can drive) ---
+
+  void send(ProcessId to, MessagePtr m);
+
+  /// One-shot timer; cancelled implicitly if this process crashes first.
+  void after(TimeNs delay, std::function<void()> fn);
+
+  /// Repeating timer with fixed period, first firing after one period.
+  void every(TimeNs period, std::function<void()> fn);
+
+  /// Wraps fn so that it is a no-op if this process has crashed (or crashed
+  /// and recovered) by the time it runs. Use for disk-completion callbacks.
+  std::function<void()> guard(std::function<void()> fn);
+
+  /// Adds CPU cost to the event being handled (serializes this process).
+  void charge(TimeNs cpu);
+
+  /// Adds CPU cost on a background lane (accounted for utilization metrics
+  /// but not serializing the message-handling lane), e.g. GC, flusher.
+  void charge_background(TimeNs cpu);
+
+  TimeNs now() const;
+  Env& env() { return env_; }
+  Rng& rng();
+
+ private:
+  Env& env_;
+  ProcessId id_;
+};
+
+}  // namespace mrp::sim

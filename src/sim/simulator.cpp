@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mrp::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::schedule_at(TimeNs when, std::function<void()> fn) {
+  MRP_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(TimeNs delay, std::function<void()> fn) {
+  MRP_CHECK(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires const_cast; the element is
+  // popped immediately after, so no ordering invariant is observed broken.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(TimeNs until) {
+  MRP_CHECK(until >= now_);
+  while (!queue_.empty() && queue_.top().when <= until) step();
+  now_ = until;
+}
+
+std::size_t Simulator::run_until_idle(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace mrp::sim

@@ -1,0 +1,123 @@
+#include "smr/client.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mrp::smr {
+
+Request Request::single(GroupId group, std::vector<ProcessId> targets,
+                        Bytes op) {
+  Request r;
+  r.sends.push_back(Send{group, std::move(targets)});
+  r.op = std::move(op);
+  r.expected_partitions = 1;
+  return r;
+}
+
+ClientNode::ClientNode(sim::Env& env, ProcessId id, Options options,
+                       NextFn next, DoneFn done)
+    : sim::Process(env, id),
+      options_(options),
+      next_(std::move(next)),
+      done_(std::move(done)) {
+  MRP_CHECK(next_ != nullptr);
+  MRP_CHECK(options_.workers >= 1);
+  workers_.resize(options_.workers);
+}
+
+void ClientNode::on_start() {
+  for (std::uint32_t w = 0; w < options_.workers; ++w) {
+    if (options_.start_delay > 0) {
+      after(options_.start_delay * (w + 1) / options_.workers,
+            [this, w] { issue_next(w); });
+    } else {
+      issue_next(w);
+    }
+  }
+}
+
+void ClientNode::issue_next(std::uint32_t worker) {
+  if (stopped_) return;
+  std::optional<Request> req = next_(worker);
+  if (!req) return;  // worker retired
+  MRP_CHECK_MSG(!req->sends.empty(), "request with no sends");
+
+  Outstanding& o = workers_[worker];
+  o.request = std::move(*req);
+  o.seq = ++next_seq_;
+  o.issued_at = now();
+  o.results.clear();
+  o.target_cursor.assign(o.request.sends.size(), 0);
+  o.active = true;
+
+  for (std::size_t i = 0; i < o.request.sends.size(); ++i) {
+    send_command(worker, i);
+  }
+  const std::uint64_t seq = o.seq;
+  after(options_.retry_timeout, [this, worker, seq] {
+    retry_check(worker, seq);
+  });
+}
+
+void ClientNode::send_command(std::uint32_t worker, std::size_t send_index) {
+  Outstanding& o = workers_[worker];
+  const Request::Send& s = o.request.sends[send_index];
+  MRP_CHECK(!s.targets.empty());
+  const ProcessId target =
+      s.targets[o.target_cursor[send_index] % s.targets.size()];
+
+  auto msg = std::make_shared<MsgClientRequest>();
+  msg->group = s.group;
+  msg->command.session = make_session(id(), worker);
+  msg->command.seq = o.seq;
+  msg->command.op = o.request.op;
+  send(target, msg);
+}
+
+void ClientNode::retry_check(std::uint32_t worker, std::uint64_t seq) {
+  Outstanding& o = workers_[worker];
+  if (!o.active || o.seq != seq) return;  // completed meanwhile
+  ++retries_;
+  for (std::size_t i = 0; i < o.request.sends.size(); ++i) {
+    o.target_cursor[i]++;  // rotate to the next candidate proposer
+    send_command(worker, i);
+  }
+  after(options_.retry_timeout, [this, worker, seq] {
+    retry_check(worker, seq);
+  });
+}
+
+void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
+  if (m.kind() != kMsgClientReply) return;
+  const auto& reply = sim::msg_cast<MsgClientReply>(m);
+  const SessionId session = reply.session;
+  const auto worker = static_cast<std::uint32_t>(session & 0xfffff);
+  if (worker >= workers_.size()) return;
+  Outstanding& o = workers_[worker];
+  if (!o.active || reply.seq != o.seq) return;  // stale reply
+  // First reply per partition wins.
+  if (!o.results.emplace(reply.partition_tag, reply.result).second) return;
+  if (o.results.size() < o.request.expected_partitions) return;
+
+  o.active = false;
+  const TimeNs latency = now() - o.issued_at;
+  latency_.record(latency);
+  ++completed_;
+  if (done_) {
+    Completion c;
+    c.worker = worker;
+    c.op = o.request.op;
+    c.results = o.results;
+    c.issued_at = o.issued_at;
+    c.latency = latency;
+    done_(c);
+  }
+  if (options_.think_time > latency) {
+    after(options_.think_time - latency, [this, worker] { issue_next(worker); });
+  } else {
+    issue_next(worker);
+  }
+}
+
+}  // namespace mrp::smr

@@ -1,0 +1,108 @@
+// Closed-loop service client.
+//
+// A ClientNode hosts `workers` independent closed-loop sessions (the paper's
+// "client threads"): each worker asks the workload for its next request,
+// sends one command per fan-out group, waits until it has a reply from the
+// expected number of distinct partitions (first reply per partition wins —
+// replicas answer over UDP in the paper), reports the completion, and
+// immediately issues the next request.
+//
+// Retries: if a send has no reply after retry_timeout, the same command
+// (same session/seq — replicas deduplicate) is re-sent to the next target
+// replica in the send's target list.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "sim/env.hpp"
+#include "sim/process.hpp"
+#include "smr/command.hpp"
+
+namespace mrp::smr {
+
+struct Request {
+  struct Send {
+    GroupId group = -1;
+    std::vector<ProcessId> targets;  // candidate proposers (rotated on retry)
+  };
+  std::vector<Send> sends;           // one command per entry, same op bytes
+  Bytes op;
+  std::size_t expected_partitions = 1;  // distinct partition_tags to await
+
+  /// Convenience: single-group request.
+  static Request single(GroupId group, std::vector<ProcessId> targets,
+                        Bytes op);
+};
+
+struct Completion {
+  std::uint32_t worker = 0;
+  Bytes op;
+  std::map<int, Bytes> results;  // partition_tag -> first reply
+  TimeNs issued_at = 0;
+  TimeNs latency = 0;
+};
+
+class ClientNode : public sim::Process {
+ public:
+  /// Returns the next request for `worker`, or nullopt to stop that worker.
+  using NextFn = std::function<std::optional<Request>(std::uint32_t worker)>;
+  using DoneFn = std::function<void(const Completion&)>;
+
+  struct Options {
+    std::uint32_t workers = 1;
+    TimeNs retry_timeout = 2 * kSecond;
+    /// Delay before the first request of each worker (staggers start-up).
+    TimeNs start_delay = 0;
+    /// Semi-open loop: each worker issues at most one request per
+    /// think_time (it waits out the remainder after a fast completion), so
+    /// the offered load stays ~workers/think_time while the system keeps
+    /// up. 0 = pure closed loop.
+    TimeNs think_time = 0;
+  };
+
+  ClientNode(sim::Env& env, ProcessId id, Options options, NextFn next,
+             DoneFn done);
+
+  void on_start() override;
+  void on_message(ProcessId from, const sim::Message& m) override;
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t retries() const { return retries_; }
+  const Histogram& latency_histogram() const { return latency_; }
+  Histogram& latency_histogram() { return latency_; }
+
+  /// Stops issuing new requests (outstanding ones finish silently).
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Outstanding {
+    Request request;
+    std::uint64_t seq = 0;  // same seq for all sends of this request
+    TimeNs issued_at = 0;
+    std::map<int, Bytes> results;
+    std::vector<std::size_t> target_cursor;  // per send
+    bool active = false;
+  };
+
+  void issue_next(std::uint32_t worker);
+  void send_command(std::uint32_t worker, std::size_t send_index);
+  void retry_check(std::uint32_t worker, std::uint64_t seq);
+
+  Options options_;
+  NextFn next_;
+  DoneFn done_;
+  std::vector<Outstanding> workers_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t retries_ = 0;
+  bool stopped_ = false;
+  Histogram latency_;
+};
+
+}  // namespace mrp::smr

@@ -1,0 +1,32 @@
+#include "smr/command.hpp"
+
+namespace mrp::smr {
+
+Bytes encode_batch(const Batch& b) {
+  codec::Writer w;
+  w.varint(b.commands.size());
+  for (const Command& c : b.commands) {
+    w.u64(c.session);
+    w.u64(c.seq);
+    w.bytes(c.op);
+  }
+  return w.take();
+}
+
+Batch decode_batch(const Bytes& data) {
+  codec::Reader r(data);
+  Batch b;
+  const std::uint64_t n = r.varint();
+  b.commands.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Command c;
+    c.session = r.u64();
+    c.seq = r.u64();
+    c.op = r.bytes();
+    b.commands.push_back(std::move(c));
+  }
+  r.expect_done();
+  return b;
+}
+
+}  // namespace mrp::smr

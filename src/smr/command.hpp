@@ -1,0 +1,77 @@
+// State-machine-replication command envelopes and client messages
+// (kind range 300-399).
+//
+// A command is identified by (session, seq): the session encodes the client
+// process and worker thread, and seq increases strictly per session, which
+// makes replica-side duplicate detection exact (a retried command is either
+// the session's most recent command — answered from the reply cache — or
+// older, in which case the client has already moved on).
+//
+// Clients batch small commands per group up to a configured byte budget
+// (32 KB in the paper); one multicast value carries one batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace mrp::smr {
+
+constexpr int kMsgClientRequest = 300;
+constexpr int kMsgClientReply = 301;
+
+using SessionId = std::uint64_t;
+
+/// Session ids pack (client process, worker index).
+constexpr SessionId make_session(ProcessId client, std::uint32_t worker) {
+  return (static_cast<SessionId>(static_cast<std::uint32_t>(client)) << 20) |
+         (worker & 0xfffff);
+}
+constexpr ProcessId session_client(SessionId s) {
+  return static_cast<ProcessId>(s >> 20);
+}
+
+struct Command {
+  SessionId session = 0;
+  std::uint64_t seq = 0;
+  Bytes op;  // service-defined operation payload
+
+  std::size_t wire_size() const { return 20 + op.size(); }
+};
+
+/// One multicast value = one batch of commands for the same group.
+struct Batch {
+  std::vector<Command> commands;
+
+  std::size_t wire_size() const {
+    std::size_t s = 4;
+    for (const auto& c : commands) s += c.wire_size();
+    return s;
+  }
+};
+
+Bytes encode_batch(const Batch& b);
+Batch decode_batch(const Bytes& data);
+
+/// Client -> proposer (a replica acting as proposer for `group`).
+struct MsgClientRequest final : sim::Message {
+  GroupId group = -1;
+  Command command;
+  int kind() const override { return kMsgClientRequest; }
+  std::size_t wire_size() const override { return 12 + command.wire_size(); }
+};
+
+/// Replica -> client (datagram-style response; first one wins).
+struct MsgClientReply final : sim::Message {
+  SessionId session = 0;
+  std::uint64_t seq = 0;
+  int partition_tag = 0;  // which partition answered (scan fan-in)
+  Bytes result;
+  int kind() const override { return kMsgClientReply; }
+  std::size_t wire_size() const override { return 28 + result.size(); }
+};
+
+}  // namespace mrp::smr

@@ -1,0 +1,159 @@
+#include "smr/replica.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mrp::smr {
+
+ReplicaNode::ReplicaNode(sim::Env& env, ProcessId id,
+                         coord::Registry* registry,
+                         multiring::NodeConfig config,
+                         StateMachineFactory factory, ReplicaOptions options)
+    : MultiRingNode(env, id, registry, std::move(config)),
+      factory_(std::move(factory)),
+      options_(options) {
+  MRP_CHECK(factory_ != nullptr);
+  sm_ = factory_(env, id);
+  MRP_CHECK(sm_ != nullptr);
+
+  set_deliver([this](GroupId g, InstanceId i, const Payload& p) {
+    deliver(g, i, p);
+  });
+  checkpointer_ = std::make_unique<recovery::Checkpointer>(
+      *this, options_.checkpoint, [this] { return snapshot_state(); },
+      [this](const Bytes& b) { restore_state(b); });
+  trim_ = std::make_unique<recovery::TrimProtocol>(*this, options_.trim);
+}
+
+void ReplicaNode::on_start() {
+  // Installs the local checkpoint (if any) and runs peer recovery.
+  checkpointer_->start();
+}
+
+void ReplicaNode::on_app_message(ProcessId from, const sim::Message& m) {
+  if (checkpointer_->handle(from, m)) return;
+  if (trim_->handle(from, m)) return;
+  if (m.kind() == kMsgClientRequest) {
+    const auto& req = sim::msg_cast<MsgClientRequest>(m);
+    enqueue_request(req.group, req.command);
+    return;
+  }
+}
+
+void ReplicaNode::on_trimmed_gap(GroupId /*group*/, InstanceId /*trimmed_to*/) {
+  checkpointer_->request_recovery();
+}
+
+void ReplicaNode::enqueue_request(GroupId group, const Command& c) {
+  Session& s = sessions_[c.session];
+  if (c.seq <= s.last_seq) {
+    // Already executed: answer directly without re-ordering the command.
+    if (c.seq == s.last_seq) {
+      auto reply = std::make_shared<MsgClientReply>();
+      reply->session = c.session;
+      reply->seq = c.seq;
+      reply->partition_tag = options_.partition_tag;
+      reply->result = s.last_reply;
+      send(session_client(c.session), reply);
+    }
+    return;
+  }
+  if (c.seq <= s.proposed_seq &&
+      now() - s.proposed_at < options_.proposal_guard) {
+    return;  // duplicate of a recent in-flight proposal
+  }
+  s.proposed_seq = c.seq;
+  s.proposed_at = now();
+  if (options_.batch_delay == 0) {
+    Batch b;
+    b.commands.push_back(c);
+    multicast(group, Payload(encode_batch(b)));
+    return;
+  }
+  PendingBatch& pb = pending_[group];
+  pb.batch.commands.push_back(c);
+  pb.bytes += c.wire_size();
+  if (pb.bytes >= options_.batch_bytes) {
+    flush_batch(group);
+    return;
+  }
+  if (!pb.timer_armed) {
+    pb.timer_armed = true;
+    after(options_.batch_delay, [this, group] { flush_batch(group); });
+  }
+}
+
+void ReplicaNode::flush_batch(GroupId group) {
+  auto it = pending_.find(group);
+  if (it == pending_.end() || it->second.batch.commands.empty()) {
+    if (it != pending_.end()) it->second.timer_armed = false;
+    return;
+  }
+  Batch batch = std::move(it->second.batch);
+  it->second = PendingBatch{};
+  multicast(group, Payload(encode_batch(batch)));
+}
+
+void ReplicaNode::deliver(GroupId group, InstanceId /*instance*/,
+                          const Payload& payload) {
+  const Batch batch = decode_batch(payload.bytes());
+  for (const Command& c : batch.commands) execute(group, c);
+}
+
+void ReplicaNode::execute(GroupId group, const Command& c) {
+  Session& s = sessions_[c.session];
+  if (c.seq <= s.last_seq) {
+    if (c.seq == s.last_seq) {
+      // Duplicate of the session's most recent command: resend the cached
+      // reply (the original answer may have been lost in a crash).
+      auto reply = std::make_shared<MsgClientReply>();
+      reply->session = c.session;
+      reply->seq = c.seq;
+      reply->partition_tag = options_.partition_tag;
+      reply->result = s.last_reply;
+      send(session_client(c.session), reply);
+    }
+    return;  // older duplicate: the client has moved on
+  }
+  Bytes result = sm_->apply(group, c.op);
+  ++executed_;
+  s.last_seq = c.seq;
+  s.last_reply = result;
+
+  auto reply = std::make_shared<MsgClientReply>();
+  reply->session = c.session;
+  reply->seq = c.seq;
+  reply->partition_tag = options_.partition_tag;
+  reply->result = std::move(result);
+  send(session_client(c.session), reply);
+}
+
+Bytes ReplicaNode::snapshot_state() const {
+  codec::Writer w;
+  w.varint(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    w.u64(id);
+    w.u64(s.last_seq);
+    w.bytes(s.last_reply);
+  }
+  w.bytes(sm_->snapshot());
+  return w.take();
+}
+
+void ReplicaNode::restore_state(const Bytes& data) {
+  codec::Reader r(data);
+  sessions_.clear();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const SessionId id = r.u64();
+    Session s;
+    s.last_seq = r.u64();
+    s.last_reply = r.bytes();
+    sessions_[id] = std::move(s);
+  }
+  sm_->restore(r.bytes());
+  r.expect_done();
+}
+
+}  // namespace mrp::smr

@@ -1,0 +1,93 @@
+// ReplicaNode: a state-machine-replication replica on top of Multi-Ring
+// Paxos (the paper's deployment pattern for both MRP-Store and dLog).
+//
+// The node is simultaneously:
+//   * proposer — clients send MsgClientRequest; requests are batched per
+//     group (up to batch_bytes, the paper's 32 KB) and multicast,
+//   * learner — merged deliveries are decoded, deduplicated per session,
+//     executed against the service StateMachine, and answered to the client
+//     with a datagram-style MsgClientReply (first reply wins at the client),
+//   * recovery participant — a Checkpointer snapshots state at merge-round
+//     boundaries and a TrimProtocol instance drives acceptor-log trimming
+//     for every group this node coordinates.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "multiring/node.hpp"
+#include "recovery/checkpointing.hpp"
+#include "recovery/trim.hpp"
+#include "smr/command.hpp"
+#include "smr/state_machine.hpp"
+
+namespace mrp::smr {
+
+struct ReplicaOptions {
+  std::size_t batch_bytes = 32 * 1024;
+  /// How long a partially filled batch may wait for more commands before it
+  /// is multicast anyway. 0 = every request is multicast immediately.
+  TimeNs batch_delay = 0;
+  /// Minimum interval before this replica re-proposes a duplicate command
+  /// it has already multicast (client retry suppression).
+  TimeNs proposal_guard = kSecond;
+  int partition_tag = 0;  // identifies this replica's partition in replies
+  recovery::CheckpointerOptions checkpoint;
+  recovery::TrimOptions trim;
+};
+
+class ReplicaNode : public multiring::MultiRingNode {
+ public:
+  ReplicaNode(sim::Env& env, ProcessId id, coord::Registry* registry,
+              multiring::NodeConfig config, StateMachineFactory factory,
+              ReplicaOptions options);
+
+  void on_start() override;
+
+  StateMachine& state_machine() { return *sm_; }
+  const recovery::Checkpointer& checkpointer() const { return *checkpointer_; }
+  recovery::Checkpointer& checkpointer() { return *checkpointer_; }
+  recovery::TrimProtocol& trim_protocol() { return *trim_; }
+  std::uint64_t executed() const { return executed_; }
+
+ protected:
+  void on_app_message(ProcessId from, const sim::Message& m) override;
+  void on_trimmed_gap(GroupId group, InstanceId trimmed_to) override;
+
+ private:
+  struct Session {
+    std::uint64_t last_seq = 0;
+    Bytes last_reply;
+    // Proposer-side duplicate suppression: the highest seq this replica has
+    // already multicast for the session, and when. A retried command is
+    // re-proposed only after proposal_guard has elapsed (covers the case
+    // where the original proposal died with a coordinator).
+    std::uint64_t proposed_seq = 0;
+    TimeNs proposed_at = 0;
+  };
+  struct PendingBatch {
+    Batch batch;
+    std::size_t bytes = 0;
+    bool timer_armed = false;
+  };
+
+  void deliver(GroupId group, InstanceId instance, const Payload& payload);
+  void execute(GroupId group, const Command& c);
+  void enqueue_request(GroupId group, const Command& c);
+  void flush_batch(GroupId group);
+  Bytes snapshot_state() const;
+  void restore_state(const Bytes& data);
+
+  StateMachineFactory factory_;
+  ReplicaOptions options_;
+  std::unique_ptr<StateMachine> sm_;
+  std::unique_ptr<recovery::Checkpointer> checkpointer_;
+  std::unique_ptr<recovery::TrimProtocol> trim_;
+  std::unordered_map<SessionId, Session> sessions_;
+  std::map<GroupId, PendingBatch> pending_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mrp::smr

@@ -1,0 +1,37 @@
+// Deterministic state machine executed by every replica of a partition.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace mrp::sim {
+class Env;
+}
+
+namespace mrp::smr {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Executes one operation and returns its reply payload. `group` is the
+  /// multicast group the command arrived through (services use it to tell
+  /// partition-local traffic from global-ring traffic). Must be
+  /// deterministic: same state + same inputs => same result on all replicas.
+  virtual Bytes apply(GroupId group, const Bytes& op) = 0;
+
+  /// Serializes the full state (for checkpoints and state transfer).
+  virtual Bytes snapshot() const = 0;
+
+  /// Replaces the state with a snapshot produced by snapshot().
+  virtual void restore(const Bytes& snapshot) = 0;
+};
+
+/// Factories are re-invoked when a crashed replica recovers, so they must be
+/// copyable and repeatable.
+using StateMachineFactory =
+    std::function<std::unique_ptr<StateMachine>(sim::Env& env, ProcessId self)>;
+
+}  // namespace mrp::smr

@@ -1,0 +1,132 @@
+#include "storage/acceptor_log.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mrp::storage {
+
+std::string to_string(WriteMode m) {
+  switch (m) {
+    case WriteMode::Memory: return "memory";
+    case WriteMode::Async: return "async";
+    case WriteMode::Sync: return "sync";
+  }
+  return "?";
+}
+
+AcceptorLog::AcceptorLog(sim::Env& env, ProcessId owner, GroupId ring,
+                         WriteMode mode, int disk_index)
+    : env_(env),
+      owner_(owner),
+      mode_(mode),
+      disk_index_(disk_index),
+      d_(env.stable<Durable>(owner,
+                             "ring/" + std::to_string(ring) + "/acceptor_log")) {}
+
+Round AcceptorLog::promised() const { return d_.promised; }
+
+std::size_t AcceptorLog::record_wire_size(const paxos::LogRecord& r) {
+  // instance + vround + value id + flags + payload
+  return 40 + r.value.payload.size();
+}
+
+void AcceptorLog::persist(std::size_t bytes, std::function<void()> done) {
+  switch (mode_) {
+    case WriteMode::Memory:
+      if (done) done();
+      return;
+    case WriteMode::Async:
+      // Queue the device write in the background; ack immediately.
+      env_.disk(owner_, disk_index_).write(bytes, nullptr);
+      if (done) done();
+      return;
+    case WriteMode::Sync:
+      env_.disk(owner_, disk_index_).write(bytes, std::move(done));
+      return;
+  }
+}
+
+void AcceptorLog::promise(Round r, std::function<void()> done) {
+  MRP_CHECK_MSG(r >= d_.promised, "promise must not regress");
+  d_.promised = r;
+  persist(16, std::move(done));
+}
+
+void AcceptorLog::accept(InstanceId instance, const paxos::LogRecord& record,
+                         std::function<void()> done) {
+  auto it = d_.records.find(instance);
+  if (it != d_.records.end()) {
+    if (it->second.decided) {
+      // A decided record is immutable (Paxos guarantees any further accept
+      // for this instance carries the same value); nothing to persist.
+      if (done) done();
+      return;
+    }
+    MRP_CHECK_MSG(record.vround >= it->second.vround,
+                  "accept must not regress vround");
+  }
+  d_.records[instance] = record;
+  persist(record_wire_size(record), std::move(done));
+}
+
+void AcceptorLog::mark_decided(InstanceId instance) {
+  auto it = d_.records.find(instance);
+  if (it != d_.records.end()) it->second.decided = true;
+}
+
+std::optional<paxos::LogRecord> AcceptorLog::get(InstanceId instance) const {
+  auto it = d_.records.find(instance);
+  if (it == d_.records.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<InstanceId, paxos::LogRecord>> AcceptorLog::range(
+    InstanceId lo, InstanceId hi) const {
+  std::vector<std::pair<InstanceId, paxos::LogRecord>> out;
+  auto it = d_.records.lower_bound(lo);
+  // A skip-range record straddling lo starts below it; include it so that
+  // learners recovering from a mid-range position can fill their gap.
+  if (it != d_.records.begin()) {
+    auto prev = std::prev(it);
+    const auto span =
+        std::max<std::uint64_t>(1, prev->second.value.skip_count);
+    if (prev->first + span > lo) out.emplace_back(prev->first, prev->second);
+  }
+  for (; it != d_.records.end() && it->first < hi; ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::vector<paxos::Promise> AcceptorLog::promises_from(InstanceId floor) const {
+  std::vector<paxos::Promise> out;
+  for (auto it = d_.records.lower_bound(floor); it != d_.records.end(); ++it) {
+    paxos::Promise p;
+    p.instance = it->first;
+    p.vround = it->second.vround;
+    p.value = it->second.value;
+    p.decided = it->second.decided;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void AcceptorLog::trim(InstanceId upto) {
+  if (upto <= d_.trimmed_to) return;
+  d_.records.erase(d_.records.begin(), d_.records.lower_bound(upto));
+  d_.trimmed_to = upto;
+  // Trim metadata is tiny; written through the same mode.
+  persist(16, nullptr);
+}
+
+InstanceId AcceptorLog::trimmed_to() const { return d_.trimmed_to; }
+
+std::optional<InstanceId> AcceptorLog::highest_instance() const {
+  if (d_.records.empty()) return std::nullopt;
+  return d_.records.rbegin()->first;
+}
+
+std::size_t AcceptorLog::record_count() const { return d_.records.size(); }
+
+}  // namespace mrp::storage

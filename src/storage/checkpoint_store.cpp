@@ -1,0 +1,37 @@
+#include "storage/checkpoint_store.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mrp::storage {
+
+bool tuple_leq(const CheckpointTuple& a, const CheckpointTuple& b) {
+  MRP_CHECK_MSG(a.size() == b.size(), "comparing tuples across partitions");
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    MRP_CHECK_MSG(ia->first == ib->first, "tuple group sets differ");
+    if (ia->second > ib->second) return false;
+  }
+  return true;
+}
+
+CheckpointStore::CheckpointStore(sim::Env& env, ProcessId owner, int disk_index)
+    : env_(env),
+      owner_(owner),
+      disk_index_(disk_index),
+      d_(env.stable<Durable>(owner, "checkpoints")) {}
+
+void CheckpointStore::save(Checkpoint cp, std::function<void()> done) {
+  const std::size_t bytes = cp.wire_size();
+  cp.sequence = ++d_.saves;
+  d_.latest = std::move(cp);
+  env_.disk(owner_, disk_index_).write(bytes, std::move(done));
+}
+
+std::optional<Checkpoint> CheckpointStore::latest() const { return d_.latest; }
+
+std::uint64_t CheckpointStore::saves() const { return d_.saves; }
+
+}  // namespace mrp::storage

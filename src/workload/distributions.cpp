@@ -1,0 +1,58 @@
+#include "workload/distributions.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mrp::workload {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
+    : items_(items), theta_(theta) {
+  MRP_CHECK(items >= 1);
+  zetan_ = zeta(items_, theta_);
+  zeta2theta_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+std::uint64_t ScrambledZipfianGenerator::next(Rng& rng) const {
+  const std::uint64_t rank = zipf_.next(rng);
+  // FNV-1a over the rank bytes.
+  std::uint64_t h = 1469598103934665603ULL;
+  std::uint64_t v = rank;
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xff;
+    h *= 1099511628211ULL;
+    v >>= 8;
+  }
+  return h % items_;
+}
+
+std::uint64_t LatestGenerator::next(Rng& rng,
+                                    std::uint64_t max_exclusive) const {
+  MRP_CHECK(max_exclusive >= 1);
+  const std::uint64_t back = zipf_.next(rng) % max_exclusive;
+  return max_exclusive - 1 - back;
+}
+
+}  // namespace mrp::workload

@@ -1,0 +1,72 @@
+// Key-choice distributions used by the YCSB workloads: uniform, zipfian
+// (Gray et al.'s incremental algorithm, theta = 0.99 like YCSB), scrambled
+// zipfian (hashes the zipfian rank across the key space), and latest
+// (zipfian over recency, for read-latest workloads).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace mrp::workload {
+
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(std::uint64_t items) : items_(items) {}
+  std::uint64_t next(Rng& rng) const { return rng.next_below(items_); }
+  std::uint64_t items() const { return items_; }
+
+ private:
+  std::uint64_t items_;
+};
+
+class ZipfianGenerator {
+ public:
+  static constexpr double kTheta = 0.99;
+
+  explicit ZipfianGenerator(std::uint64_t items, double theta = kTheta);
+
+  /// Rank in [0, items): 0 is the hottest item.
+  std::uint64_t next(Rng& rng) const;
+  std::uint64_t items() const { return items_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t items_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Zipfian rank scattered over the key space with an FNV hash, so hot keys
+/// are spread across partitions (YCSB's "scrambled zipfian").
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(std::uint64_t items)
+      : items_(items), zipf_(items) {}
+
+  std::uint64_t next(Rng& rng) const;
+  std::uint64_t items() const { return items_; }
+
+ private:
+  std::uint64_t items_;
+  ZipfianGenerator zipf_;
+};
+
+/// Skewed toward the most recently inserted items (YCSB workload D).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(std::uint64_t items) : zipf_(items) {}
+
+  /// `max_exclusive` is the current item count; returns an index < it,
+  /// biased toward max_exclusive - 1.
+  std::uint64_t next(Rng& rng, std::uint64_t max_exclusive) const;
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace mrp::workload

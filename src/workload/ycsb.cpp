@@ -1,0 +1,111 @@
+#include "workload/ycsb.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace mrp::workload {
+
+YcsbSpec YcsbSpec::workload(char name) {
+  YcsbSpec s;
+  switch (name) {
+    case 'A':
+    case 'a':
+      s.read_proportion = 0.5;
+      s.update_proportion = 0.5;
+      break;
+    case 'B':
+    case 'b':
+      s.read_proportion = 0.95;
+      s.update_proportion = 0.05;
+      break;
+    case 'C':
+    case 'c':
+      s.read_proportion = 1.0;
+      break;
+    case 'D':
+    case 'd':
+      s.read_proportion = 0.95;
+      s.insert_proportion = 0.05;
+      s.latest_distribution = true;
+      break;
+    case 'E':
+    case 'e':
+      s.scan_proportion = 0.95;
+      s.insert_proportion = 0.05;
+      break;
+    case 'F':
+    case 'f':
+      s.read_proportion = 0.5;
+      s.rmw_proportion = 0.5;
+      break;
+    default:
+      MRP_CHECK_MSG(false, "unknown YCSB workload");
+  }
+  return s;
+}
+
+YcsbGenerator::YcsbGenerator(YcsbSpec spec, std::uint64_t record_count,
+                             std::uint64_t seed)
+    : spec_(spec),
+      record_count_(record_count),
+      insert_cursor_(record_count),
+      rng_(seed),
+      zipf_(record_count),
+      latest_(record_count),
+      scan_len_(spec.max_scan_len ? spec.max_scan_len : 1) {
+  MRP_CHECK(record_count >= 1);
+}
+
+std::string YcsbGenerator::key_of(std::uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::string YcsbGenerator::next_existing_key() {
+  if (spec_.latest_distribution) {
+    return key_of(latest_.next(rng_, insert_cursor_));
+  }
+  return key_of(zipf_.next(rng_));
+}
+
+YcsbOp YcsbGenerator::next() {
+  YcsbOp op;
+  const double p = rng_.next_double();
+  double acc = spec_.read_proportion;
+  if (p < acc) {
+    op.type = YcsbOpType::kRead;
+    op.key = next_existing_key();
+    return op;
+  }
+  acc += spec_.update_proportion;
+  if (p < acc) {
+    op.type = YcsbOpType::kUpdate;
+    op.key = next_existing_key();
+    op.value.assign(spec_.value_bytes, 0x55);
+    return op;
+  }
+  acc += spec_.insert_proportion;
+  if (p < acc) {
+    op.type = YcsbOpType::kInsert;
+    op.key = key_of(insert_cursor_++);
+    op.value.assign(spec_.value_bytes, 0x66);
+    return op;
+  }
+  acc += spec_.scan_proportion;
+  if (p < acc) {
+    op.type = YcsbOpType::kScan;
+    op.key = next_existing_key();
+    op.scan_len =
+        static_cast<std::uint32_t>(1 + scan_len_.next(rng_));
+    return op;
+  }
+  op.type = YcsbOpType::kReadModifyWrite;
+  op.key = next_existing_key();
+  op.value.assign(spec_.value_bytes, 0x77);
+  return op;
+}
+
+}  // namespace mrp::workload

@@ -1,0 +1,71 @@
+// YCSB-compatible workload generator (Cooper et al., SoCC'10), used by the
+// Figure 4 benchmark. Implements the six core workloads:
+//   A  update-heavy   50% read / 50% update, zipfian
+//   B  read-mostly    95% read /  5% update, zipfian
+//   C  read-only     100% read, zipfian
+//   D  read-latest    95% read /  5% insert, latest distribution
+//   E  short-ranges   95% scan /  5% insert, zipfian start keys
+//   F  read-mod-write 50% read / 50% read-modify-write, zipfian
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/distributions.hpp"
+
+namespace mrp::workload {
+
+enum class YcsbOpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+struct YcsbOp {
+  YcsbOpType type = YcsbOpType::kRead;
+  std::string key;        // scan: start key
+  std::uint32_t scan_len = 0;
+  Bytes value;            // update/insert payload
+};
+
+struct YcsbSpec {
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  bool latest_distribution = false;  // D uses latest; others zipfian
+  std::uint32_t max_scan_len = 100;
+  std::size_t value_bytes = 1024;
+
+  static YcsbSpec workload(char name);  // 'A'..'F'
+};
+
+class YcsbGenerator {
+ public:
+  YcsbGenerator(YcsbSpec spec, std::uint64_t record_count,
+                std::uint64_t seed);
+
+  /// Next operation (thread-safe only per instance; give each client its
+  /// own generator for determinism).
+  YcsbOp next();
+
+  /// Key for record index i ("user" + zero-padded index, YCSB style).
+  static std::string key_of(std::uint64_t i);
+
+  std::uint64_t record_count() const { return record_count_; }
+  std::uint64_t inserted() const { return insert_cursor_; }
+
+  const YcsbSpec& spec() const { return spec_; }
+
+ private:
+  std::string next_existing_key();
+
+  YcsbSpec spec_;
+  std::uint64_t record_count_;
+  std::uint64_t insert_cursor_;  // next index to insert (grows)
+  Rng rng_;
+  ScrambledZipfianGenerator zipf_;
+  LatestGenerator latest_;
+  UniformGenerator scan_len_;
+};
+
+}  // namespace mrp::workload

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "codec/codec.hpp"
+#include "common/rng.hpp"
+
+namespace mrp::codec {
+namespace {
+
+TEST(Codec, FixedWidthRoundtrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  r.expect_done();
+}
+
+TEST(Codec, VarintBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 ~0ULL};
+  Writer w;
+  for (auto v : cases) w.varint(v);
+  Reader r(w.buffer());
+  for (auto v : cases) EXPECT_EQ(r.varint(), v);
+  r.expect_done();
+}
+
+TEST(Codec, VarintCompactness) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Codec, StringsAndBytes) {
+  Writer w;
+  w.str("");
+  w.str("hello world");
+  w.bytes(Bytes{1, 2, 3});
+  w.bytes(Bytes{});
+  Reader r(w.buffer());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.bytes(), Bytes{});
+  r.expect_done();
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  Writer w;
+  w.u64(12345);
+  Bytes truncated(w.buffer().begin(), w.buffer().begin() + 4);
+  Reader r(truncated);
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Writer w;
+  w.str("hello");
+  Bytes truncated(w.buffer().begin(), w.buffer().begin() + 3);
+  Reader r(truncated);
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Codec, LengthLargerThanBufferThrows) {
+  // A varint length claiming more bytes than remain.
+  Bytes evil{0xff, 0x01, 'a'};  // length 255, only 1 byte follows
+  Reader r(evil);
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, VarintOverflowThrows) {
+  Bytes evil(11, 0xff);  // an 11-byte varint cannot fit 64 bits
+  Reader r(evil);
+  EXPECT_THROW(r.varint(), CodecError);
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+}
+
+TEST(Codec, RandomRoundtripProperty) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    Writer w;
+    std::vector<std::uint64_t> varints;
+    std::vector<Bytes> blobs;
+    const int n = static_cast<int>(rng.next_below(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      varints.push_back(rng.next());
+      w.varint(varints.back());
+      Bytes b(rng.next_below(64), static_cast<std::uint8_t>(rng.next()));
+      blobs.push_back(b);
+      w.bytes(b);
+    }
+    Reader r(w.buffer());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(r.varint(), varints[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(r.bytes(), blobs[static_cast<std::size_t>(i)]);
+    }
+    r.expect_done();
+  }
+}
+
+}  // namespace
+}  // namespace mrp::codec

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mrp {
+namespace {
+
+TEST(Types, TimeConversions) {
+  EXPECT_EQ(from_millis(1.0), kMillisecond);
+  EXPECT_EQ(from_micros(1.0), kMicrosecond);
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMillisecond), 1.0);
+}
+
+TEST(Types, PayloadSharing) {
+  Payload a(to_bytes("hello"));
+  Payload b = a;  // shares the buffer
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(b.as_string(), "hello");
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Types, ValueIdOrdering) {
+  ValueId a{1, 5};
+  ValueId b{1, 6};
+  ValueId c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ValueId{1, 5}));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.next_exponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.2);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(3);
+  Rng b = a.fork();
+  // Forked stream should not mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 0.01);
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  // 5 sub-bucket bits => <= ~3.1% relative error.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0, 50000 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 99000 * 0.04);
+  EXPECT_EQ(h.quantile(0.0), 1);
+  EXPECT_EQ(h.quantile(1.0), 100000);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h;
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    h.record(static_cast<std::int64_t>(r.next_below(1'000'000)));
+  }
+  auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, RecordNegativeClampsToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Timeline, WindowsAndRates) {
+  ThroughputTimeline t(kSecond);
+  t.record(0);
+  t.record(kSecond / 2);
+  t.record(kSecond + 1);
+  t.record(3 * kSecond);
+  auto s = t.series();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+  EXPECT_DOUBLE_EQ(s[3], 1.0);
+}
+
+TEST(Meter, Rates) {
+  Meter m;
+  for (int i = 0; i < 1000; ++i) m.record(125);  // 125 B => 1000 bits
+  m.set_interval(0, kSecond);
+  EXPECT_DOUBLE_EQ(m.ops_per_sec(), 1000.0);
+  EXPECT_DOUBLE_EQ(m.megabits_per_sec(), 1.0);
+}
+
+}  // namespace
+}  // namespace mrp

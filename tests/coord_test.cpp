@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coord/registry.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::coord {
+namespace {
+
+class Dummy : public sim::Process {
+ public:
+  using Process::Process;
+  void on_message(ProcessId, const sim::Message& m) override {
+    if (m.kind() == kMsgViewChange) {
+      views.push_back(sim::msg_cast<MsgViewChange>(m).view);
+    }
+  }
+  std::vector<RingView> views;
+};
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void spawn(std::initializer_list<ProcessId> pids) {
+    for (ProcessId p : pids) env_.spawn<Dummy>(p);
+  }
+  RingConfig config3() {
+    RingConfig c;
+    c.ring = 0;
+    c.order = {1, 2, 3};
+    c.acceptors = {1, 2, 3};
+    return c;
+  }
+
+  sim::Env env_;
+  Registry reg_{env_, 50 * kMillisecond};
+};
+
+TEST_F(RegistryTest, InitialViewIncludesAllConfiguredMembers) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  const RingView& v = reg_.current_view(0);
+  EXPECT_EQ(v.epoch, 1u);
+  EXPECT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.coordinator, 1);
+  EXPECT_EQ(v.quorum(), 2u);
+}
+
+TEST_F(RegistryTest, SuccessorWraps) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  const RingView& v = reg_.current_view(0);
+  EXPECT_EQ(v.successor(1), 2);
+  EXPECT_EQ(v.successor(2), 3);
+  EXPECT_EQ(v.successor(3), 1);
+}
+
+TEST_F(RegistryTest, CrashDetectedAndViewChanges) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  env_.crash(2);
+  env_.sim().run_for(from_millis(120));
+  const RingView& v = reg_.current_view(0);
+  EXPECT_EQ(v.members.size(), 2u);
+  EXPECT_FALSE(v.contains(2));
+  EXPECT_GT(v.epoch, 1u);
+  EXPECT_EQ(v.successor(1), 3);
+}
+
+TEST_F(RegistryTest, CoordinatorElectionSkipsDeadAcceptor) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  env_.crash(1);
+  env_.sim().run_for(from_millis(120));
+  EXPECT_EQ(reg_.current_view(0).coordinator, 2);
+}
+
+TEST_F(RegistryTest, CoordinatorIsSticky) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  env_.crash(1);
+  env_.sim().run_for(from_millis(120));
+  EXPECT_EQ(reg_.current_view(0).coordinator, 2);
+  env_.recover(1);
+  env_.sim().run_for(from_millis(120));
+  // 1 rejoined but 2 keeps the coordinatorship.
+  EXPECT_EQ(reg_.current_view(0).coordinator, 2);
+  EXPECT_TRUE(reg_.current_view(0).contains(1));
+}
+
+TEST_F(RegistryTest, EpochsIncreaseMonotonically) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  std::uint64_t last = reg_.current_view(0).epoch;
+  for (int i = 0; i < 3; ++i) {
+    env_.crash(3);
+    env_.sim().run_for(from_millis(120));
+    EXPECT_GT(reg_.current_view(0).epoch, last);
+    last = reg_.current_view(0).epoch;
+    env_.recover(3);
+    env_.sim().run_for(from_millis(120));
+    EXPECT_GT(reg_.current_view(0).epoch, last);
+    last = reg_.current_view(0).epoch;
+  }
+}
+
+TEST_F(RegistryTest, WatchersAreNotifiedOfChanges) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  reg_.watch_ring(0, 3);
+  env_.sim().run_for(from_millis(10));
+  auto* d = env_.process_as<Dummy>(3);
+  ASSERT_EQ(d->views.size(), 1u);  // initial view on watch
+  env_.crash(2);
+  env_.sim().run_for(from_millis(200));
+  ASSERT_GE(d->views.size(), 2u);
+  EXPECT_FALSE(d->views.back().contains(2));
+}
+
+TEST_F(RegistryTest, RecoveredWatcherIsRenotified) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  reg_.watch_ring(0, 3);
+  env_.sim().run_for(from_millis(10));
+  env_.crash(3);
+  env_.sim().run_for(from_millis(200));
+  env_.recover(3);
+  env_.sim().run_for(from_millis(200));
+  auto* d = env_.process_as<Dummy>(3);  // fresh incarnation
+  ASSERT_GE(d->views.size(), 1u);
+  EXPECT_TRUE(d->views.back().contains(3));
+}
+
+TEST_F(RegistryTest, SubscriptionsAndPartitions) {
+  spawn({1, 2, 3, 4});
+  reg_.set_subscriptions(1, {0, 7});
+  reg_.set_subscriptions(2, {0, 7});
+  reg_.set_subscriptions(3, {7});
+  reg_.set_subscriptions(4, {0, 7});
+  auto subs = reg_.subscribers(7);
+  EXPECT_EQ(subs.size(), 4u);
+  auto peers = reg_.partition_peers(1);
+  EXPECT_EQ(peers, (std::vector<ProcessId>{1, 2, 4}));
+  EXPECT_EQ(reg_.partition_peers(3), std::vector<ProcessId>{3});
+}
+
+TEST_F(RegistryTest, MetadataRoundtrip) {
+  reg_.set_meta("schema", "hash:3");
+  EXPECT_EQ(reg_.get_meta("schema"), "hash:3");
+  EXPECT_EQ(reg_.get_meta("absent"), "");
+}
+
+TEST_F(RegistryTest, QuorumBasedOnConfiguredAcceptors) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  env_.crash(2);
+  env_.crash(3);
+  env_.sim().run_for(from_millis(120));
+  // One alive acceptor out of three configured: quorum stays 2.
+  EXPECT_EQ(reg_.current_view(0).quorum(), 2u);
+  EXPECT_EQ(reg_.current_view(0).acceptors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mrp::coord

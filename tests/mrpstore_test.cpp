@@ -1,0 +1,305 @@
+// MRP-Store service tests: Table 1 operations, partitioning schemes, global
+// ring vs independent rings scans, replica convergence, and sequential
+// consistency (read-your-writes through the SMR order).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "coord/registry.hpp"
+#include "mrpstore/client.hpp"
+#include "mrpstore/store.hpp"
+#include "sim/env.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+namespace mrp::mrpstore {
+namespace {
+
+TEST(StoreOps, EncodingRoundtrip) {
+  Op op;
+  op.type = OpType::kScan;
+  op.key = "alpha";
+  op.key_hi = "omega";
+  op.limit = 17;
+  const Op d = decode_op(encode_op(op));
+  EXPECT_EQ(d.type, OpType::kScan);
+  EXPECT_EQ(d.key, "alpha");
+  EXPECT_EQ(d.key_hi, "omega");
+  EXPECT_EQ(d.limit, 17u);
+
+  Result res;
+  res.status = Status::kNotFound;
+  res.entries.emplace_back("k1", to_bytes("v1"));
+  const Result r = decode_result(encode_result(res));
+  EXPECT_EQ(r.status, Status::kNotFound);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].first, "k1");
+}
+
+TEST(StoreSm, Table1Semantics) {
+  KvStateMachine sm;
+  auto run = [&](Op op) { return decode_result(sm.apply(0, encode_op(op))); };
+  Op ins{OpType::kInsert, "a", "", to_bytes("1"), 0};
+  EXPECT_EQ(run(ins).status, Status::kOk);
+  Op rd{OpType::kRead, "a", "", {}, 0};
+  EXPECT_EQ(mrp::to_string(run(rd).value), "1");
+  Op upd{OpType::kUpdate, "a", "", to_bytes("2"), 0};
+  EXPECT_EQ(run(upd).status, Status::kOk);
+  EXPECT_EQ(mrp::to_string(run(rd).value), "2");
+  // Update of a missing key fails (Table 1: "if existent").
+  Op upd_missing{OpType::kUpdate, "zz", "", to_bytes("x"), 0};
+  EXPECT_EQ(run(upd_missing).status, Status::kNotFound);
+  Op del{OpType::kDelete, "a", "", {}, 0};
+  EXPECT_EQ(run(del).status, Status::kOk);
+  EXPECT_EQ(run(rd).status, Status::kNotFound);
+  EXPECT_EQ(run(del).status, Status::kNotFound);
+}
+
+TEST(StoreSm, ScanRange) {
+  KvStateMachine sm;
+  for (char c = 'a'; c <= 'f'; ++c) {
+    Op ins{OpType::kInsert, std::string(1, c), "", to_bytes("v"), 0};
+    sm.apply(0, encode_op(ins));
+  }
+  Op scan{OpType::kScan, "b", "e", {}, 0};
+  const Result r = decode_result(sm.apply(0, encode_op(scan)));
+  ASSERT_EQ(r.entries.size(), 3u);  // b, c, d (e exclusive)
+  EXPECT_EQ(r.entries[0].first, "b");
+  EXPECT_EQ(r.entries[2].first, "d");
+  Op limited{OpType::kScan, "a", "", {}, 2};
+  EXPECT_EQ(decode_result(sm.apply(0, encode_op(limited))).entries.size(), 2u);
+}
+
+TEST(StoreSm, SnapshotRestore) {
+  KvStateMachine sm;
+  for (int i = 0; i < 50; ++i) {
+    Op ins{OpType::kInsert, "k" + std::to_string(i), "",
+           to_bytes("v" + std::to_string(i)), 0};
+    sm.apply(0, encode_op(ins));
+  }
+  const Bytes snap = sm.snapshot();
+  KvStateMachine sm2;
+  sm2.restore(snap);
+  EXPECT_EQ(sm2.size(), 50u);
+  EXPECT_EQ(sm.digest(), sm2.digest());
+}
+
+TEST(Partitioning, HashCoversAllPartitionsForRanges) {
+  HashPartitioner p(4);
+  EXPECT_EQ(p.partition_count(), 4u);
+  const int part = p.partition_for_key("user123");
+  EXPECT_GE(part, 0);
+  EXPECT_LT(part, 4);
+  EXPECT_EQ(p.partition_for_key("user123"), part);  // stable
+  EXPECT_EQ(p.partitions_for_range("a", "b").size(), 4u);
+}
+
+TEST(Partitioning, RangeRouting) {
+  RangePartitioner p({"g", "n"});  // [-inf,g) [g,n) [n,+inf)
+  EXPECT_EQ(p.partition_count(), 3u);
+  EXPECT_EQ(p.partition_for_key("alpha"), 0);
+  EXPECT_EQ(p.partition_for_key("g"), 1);
+  EXPECT_EQ(p.partition_for_key("mike"), 1);
+  EXPECT_EQ(p.partition_for_key("zulu"), 2);
+  EXPECT_EQ(p.partitions_for_range("a", "c"), (std::vector<int>{0}));
+  EXPECT_EQ(p.partitions_for_range("h", "z"), (std::vector<int>{1, 2}));
+  EXPECT_EQ(p.partitions_for_range("a", ""), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(p.partitions_for_range("a", "g"), (std::vector<int>{0}));
+}
+
+TEST(Partitioning, EncodeDecode) {
+  HashPartitioner h(5);
+  auto h2 = Partitioner::decode(h.encode());
+  EXPECT_EQ(h2->partition_count(), 5u);
+
+  RangePartitioner r({"m"});
+  auto r2 = Partitioner::decode(r.encode());
+  EXPECT_EQ(r2->partition_count(), 2u);
+  EXPECT_EQ(r2->partition_for_key("a"), 0);
+  EXPECT_EQ(r2->partition_for_key("z"), 1);
+}
+
+class StoreE2eTest : public ::testing::Test {
+ protected:
+  static constexpr ProcessId kClient = 900;
+
+  void build(bool global_ring, const std::string& partitioner = "") {
+    StoreOptions so;
+    so.partitions = 3;
+    so.replicas_per_partition = 3;
+    so.global_ring = global_ring;
+    so.partitioner = partitioner;
+    if (global_ring) {
+      // Keep the global ring flowing for merge progress.
+      so.global_params.lambda = 2000;
+      so.global_params.skip_interval = 5 * kMillisecond;
+      so.ring_params.lambda = 2000;
+      so.ring_params.skip_interval = 5 * kMillisecond;
+    }
+    deployment_ = build_store(env_, *registry_, so);
+    client_helper_ = std::make_unique<StoreClient>(deployment_);
+  }
+
+  /// Runs a scripted sequence of requests to completion; returns results.
+  std::vector<Result> run_script(std::vector<smr::Request> script) {
+    auto queue = std::make_shared<std::deque<smr::Request>>(script.begin(),
+                                                            script.end());
+    auto results = std::make_shared<std::vector<Result>>();
+    env_.spawn<smr::ClientNode>(
+        kClient, smr::ClientNode::Options{1, 2 * kSecond, 0},
+        smr::ClientNode::NextFn(
+            [queue](std::uint32_t) -> std::optional<smr::Request> {
+              if (queue->empty()) return std::nullopt;
+              smr::Request r = queue->front();
+              queue->pop_front();
+              return r;
+            }),
+        smr::ClientNode::DoneFn([results](const smr::Completion& c) {
+          if (c.results.size() == 1) {
+            results->push_back(decode_result(c.results.begin()->second));
+          } else {
+            results->push_back(StoreClient::merge_scan(c.results));
+          }
+        }));
+    env_.sim().run_for(from_seconds(30));
+    return *results;
+  }
+
+  sim::Env env_{11};
+  std::unique_ptr<coord::Registry> registry_ =
+      std::make_unique<coord::Registry>(env_, 50 * kMillisecond);
+  StoreDeployment deployment_;
+  std::unique_ptr<StoreClient> client_helper_;
+};
+
+TEST_F(StoreE2eTest, CrudThroughTheStack) {
+  build(false);
+  auto res = run_script({
+      client_helper_->insert("apple", to_bytes("red")),
+      client_helper_->read("apple"),
+      client_helper_->update("apple", to_bytes("green")),
+      client_helper_->read("apple"),
+      client_helper_->remove("apple"),
+      client_helper_->read("apple"),
+  });
+  ASSERT_EQ(res.size(), 6u);
+  EXPECT_EQ(res[0].status, Status::kOk);
+  EXPECT_EQ(mrp::to_string(res[1].value), "red");
+  EXPECT_EQ(res[2].status, Status::kOk);
+  EXPECT_EQ(mrp::to_string(res[3].value), "green");
+  EXPECT_EQ(res[4].status, Status::kOk);
+  EXPECT_EQ(res[5].status, Status::kNotFound);
+}
+
+TEST_F(StoreE2eTest, ReadYourWritesAcrossKeys) {
+  build(false);
+  std::vector<smr::Request> script;
+  for (int i = 0; i < 20; ++i) {
+    script.push_back(client_helper_->insert("key" + std::to_string(i),
+                                            to_bytes(std::to_string(i))));
+    script.push_back(client_helper_->read("key" + std::to_string(i)));
+  }
+  auto res = run_script(script);
+  ASSERT_EQ(res.size(), 40u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(res[static_cast<std::size_t>(2 * i)].status, Status::kOk);
+    EXPECT_EQ(mrp::to_string(res[static_cast<std::size_t>(2 * i + 1)].value),
+              std::to_string(i))
+        << "read after insert must observe the write";
+  }
+}
+
+TEST_F(StoreE2eTest, GlobalRingScanSeesAllPartitions) {
+  build(true);
+  std::vector<smr::Request> script;
+  for (int i = 0; i < 12; ++i) {
+    script.push_back(client_helper_->insert("scan" + std::to_string(i),
+                                            to_bytes("v")));
+  }
+  script.push_back(client_helper_->scan("scan", "scao", 0));
+  auto res = run_script(script);
+  ASSERT_EQ(res.size(), 13u);
+  EXPECT_EQ(res.back().entries.size(), 12u)
+      << "global-ring scan must return keys from every partition";
+}
+
+TEST_F(StoreE2eTest, IndependentRingsScanAlsoWorks) {
+  build(false);
+  std::vector<smr::Request> script;
+  for (int i = 0; i < 12; ++i) {
+    script.push_back(client_helper_->insert("ind" + std::to_string(i),
+                                            to_bytes("v")));
+  }
+  script.push_back(client_helper_->scan("ind", "ine", 0));
+  auto res = run_script(script);
+  EXPECT_EQ(res.back().entries.size(), 12u);
+}
+
+TEST_F(StoreE2eTest, RangePartitionedScanTouchesOnlyOverlap) {
+  build(false, RangePartitioner({"h", "p"}).encode());
+  std::vector<smr::Request> script;
+  script.push_back(client_helper_->insert("aaa", to_bytes("1")));
+  script.push_back(client_helper_->insert("kkk", to_bytes("2")));
+  script.push_back(client_helper_->insert("zzz", to_bytes("3")));
+  auto res = run_script(script);
+  ASSERT_EQ(res.size(), 3u);
+  // A scan of [a, c) touches only partition 0.
+  auto req = client_helper_->scan("a", "c", 0);
+  EXPECT_EQ(req.sends.size(), 1u);
+  EXPECT_EQ(req.expected_partitions, 1u);
+  // A scan of [j, z) touches partitions 1 and 2.
+  auto req2 = client_helper_->scan("j", "zz", 0);
+  EXPECT_EQ(req2.sends.size(), 2u);
+}
+
+TEST_F(StoreE2eTest, ReplicasConvergeToIdenticalState) {
+  build(false);
+  std::vector<smr::Request> script;
+  for (int i = 0; i < 60; ++i) {
+    script.push_back(client_helper_->insert("c" + std::to_string(i % 20),
+                                            to_bytes(std::to_string(i))));
+  }
+  run_script(script);
+  env_.sim().run_for(from_seconds(2));
+  for (std::size_t p = 0; p < 3; ++p) {
+    std::uint64_t d0 = 0;
+    for (std::size_t r = 0; r < 3; ++r) {
+      auto* rep =
+          env_.process_as<smr::ReplicaNode>(deployment_.replicas[p][r]);
+      auto& kv = dynamic_cast<KvStateMachine&>(rep->state_machine());
+      if (r == 0) {
+        d0 = kv.digest();
+      } else {
+        EXPECT_EQ(kv.digest(), d0) << "partition " << p << " replica " << r;
+      }
+    }
+  }
+}
+
+TEST_F(StoreE2eTest, KeysRouteToOwningPartitionOnly) {
+  build(false);
+  std::vector<smr::Request> script;
+  for (int i = 0; i < 30; ++i) {
+    script.push_back(
+        client_helper_->insert("route" + std::to_string(i), to_bytes("x")));
+  }
+  run_script(script);
+  env_.sim().run_for(from_seconds(1));
+  // Each key must exist in exactly one partition.
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "route" + std::to_string(i);
+    int holders = 0;
+    for (std::size_t p = 0; p < 3; ++p) {
+      auto* rep =
+          env_.process_as<smr::ReplicaNode>(deployment_.replicas[p][0]);
+      auto& kv = dynamic_cast<KvStateMachine&>(rep->state_machine());
+      if (kv.get(key).has_value()) ++holders;
+    }
+    EXPECT_EQ(holders, 1) << key;
+  }
+}
+
+}  // namespace
+}  // namespace mrp::mrpstore

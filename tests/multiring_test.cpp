@@ -1,0 +1,344 @@
+// Multi-Ring Paxos: deterministic merge across groups, subscriptions,
+// rate leveling keeping the merge live, and the merger unit itself.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/registry.hpp"
+#include "multiring/merger.hpp"
+#include "multiring/node.hpp"
+#include "sim/env.hpp"
+
+namespace mrp {
+namespace {
+
+using multiring::DeterministicMerger;
+
+paxos::Value val(const std::string& s) {
+  paxos::Value v;
+  v.payload = Payload(s);
+  return v;
+}
+
+TEST(Merger, RoundRobinInGroupIdOrder) {
+  std::vector<std::string> out;
+  DeterministicMerger m({2, 1}, 1, [&](GroupId g, InstanceId, const paxos::Value& v) {
+    out.push_back(std::to_string(g) + ":" + v.payload.as_string());
+  });
+  // Feed both groups fully; merge starts at the lowest group id.
+  m.on_decision(1, 0, val("a"));
+  m.on_decision(1, 1, val("b"));
+  m.on_decision(2, 0, val("x"));
+  m.on_decision(2, 1, val("y"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1:a", "2:x", "1:b", "2:y"}));
+}
+
+TEST(Merger, StallsOnMissingGroupThenResumes) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId, const paxos::Value& v) {
+    out.push_back(std::to_string(g) + ":" + v.payload.as_string());
+  });
+  m.on_decision(1, 0, val("a"));
+  m.on_decision(1, 1, val("b"));
+  EXPECT_EQ(out.size(), 1u);  // delivered a, now waiting on group 2
+  EXPECT_EQ(m.waiting_on(), 2);
+  m.on_decision(2, 0, val("x"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1:a", "2:x", "1:b"}));
+}
+
+TEST(Merger, MLargerThanOne) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 3, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  for (InstanceId i = 0; i < 6; ++i) m.on_decision(1, i, val("v"));
+  for (InstanceId i = 0; i < 6; ++i) m.on_decision(2, i, val("v"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1@0", "1@1", "1@2", "2@0", "2@1",
+                                           "2@2", "1@3", "1@4", "1@5", "2@3",
+                                           "2@4", "2@5"}));
+}
+
+TEST(Merger, SkipsConsumeQuotaSilently) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId, const paxos::Value& v) {
+    out.push_back(std::to_string(g) + ":" + v.payload.as_string());
+  });
+  // Group 1: one skip range covering instances 0..4, then a value at 5.
+  // Group 2: six values. With M=1 the range is consumed one instance per
+  // turn, interleaved with group 2's values.
+  m.on_decision(1, 0, paxos::Value::skip({1, 1}, 5));
+  m.on_decision(1, 5, val("a"));
+  for (InstanceId i = 0; i < 6; ++i) {
+    m.on_decision(2, i, val("x" + std::to_string(i)));
+  }
+  EXPECT_EQ(out, (std::vector<std::string>{"2:x0", "2:x1", "2:x2", "2:x3",
+                                           "2:x4", "1:a", "2:x5"}));
+  EXPECT_EQ(m.skipped_instances(), 5u);
+}
+
+TEST(Merger, SkipRangeSpillsAcrossWindows) {
+  // M=2: a range of 3 fills one window and half of the next turn's quota.
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 2, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  m.on_decision(1, 0, paxos::Value::skip({1, 1}, 3));  // 0..2
+  m.on_decision(1, 3, val("v"));
+  m.on_decision(2, 0, val("v"));
+  m.on_decision(2, 1, val("v"));
+  m.on_decision(2, 2, val("v"));
+  m.on_decision(2, 3, val("v"));
+  // Window 1 of g1: skips 0,1. Window of g2: 0,1. Window 2 of g1: skip 2 +
+  // value@3. Window of g2: 2,3.
+  EXPECT_EQ(out, (std::vector<std::string>{"2@0", "2@1", "1@3", "2@2", "2@3"}));
+  EXPECT_EQ(m.skipped_instances(), 3u);
+}
+
+TEST(Merger, TupleReflectsMergedPrefix) {
+  DeterministicMerger m({1, 2}, 1, [](GroupId, InstanceId, const paxos::Value&) {});
+  m.on_decision(1, 0, val("a"));
+  m.on_decision(2, 0, val("x"));
+  m.on_decision(1, 1, val("b"));  // merged (group 1's next window)
+  auto t = m.tuple();
+  EXPECT_EQ(t[1], 2u);
+  EXPECT_EQ(t[2], 1u);
+}
+
+TEST(Merger, BoundaryHookFiresOncePerRound) {
+  int boundaries = 0;
+  DeterministicMerger m({1, 2}, 1, [](GroupId, InstanceId, const paxos::Value&) {});
+  m.set_boundary_hook([&] { ++boundaries; });
+  m.on_decision(1, 0, val("a"));
+  EXPECT_EQ(boundaries, 0);
+  m.on_decision(2, 0, val("x"));
+  EXPECT_EQ(boundaries, 1);
+  m.on_decision(1, 1, val("b"));
+  m.on_decision(2, 1, val("y"));
+  EXPECT_EQ(boundaries, 2);
+}
+
+TEST(Merger, PauseBuffersResumeFlushes) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1}, 1, [&](GroupId, InstanceId, const paxos::Value& v) {
+    out.push_back(v.payload.as_string());
+  });
+  m.pause();
+  m.on_decision(1, 0, val("a"));
+  m.on_decision(1, 1, val("b"));
+  EXPECT_TRUE(out.empty());
+  m.resume();
+  EXPECT_EQ(out, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Merger, InstallTupleSkipsForward) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(i));
+  });
+  storage::CheckpointTuple t{{1, 5}, {2, 3}};
+  m.install_tuple(t);
+  m.on_decision(1, 5, val("a"));
+  m.on_decision(2, 3, val("x"));
+  EXPECT_EQ(out, (std::vector<std::string>{"5", "3"}));
+}
+
+// --- end-to-end multi-ring tests ---
+
+struct Delivery {
+  ProcessId node;
+  GroupId group;
+  InstanceId instance;
+  std::string payload;
+};
+
+using Sink = std::function<void(ProcessId, GroupId, InstanceId, const Payload&)>;
+
+class TestNode : public multiring::MultiRingNode {
+ public:
+  TestNode(sim::Env& env, ProcessId id, coord::Registry* reg,
+           multiring::NodeConfig cfg, std::shared_ptr<Sink> sink)
+      : MultiRingNode(env, id, reg, std::move(cfg)) {
+    set_deliver([this, sink](GroupId g, InstanceId i, const Payload& p) {
+      (*sink)(this->id(), g, i, p);
+    });
+  }
+};
+
+class MultiRingTest : public ::testing::Test {
+ protected:
+  /// Two rings: nodes 1-3 are members of both; node 4 is a member of ring 2
+  /// only (the paper's Figure 2(c) layout, with L3 subscribing ring 2).
+  void build_fig2c(double lambda = 2000) {
+    ringpaxos::RingParams p;
+    p.lambda = lambda;
+    p.skip_interval = 5 * kMillisecond;
+
+    coord::RingConfig r1;
+    r1.ring = 1;
+    r1.order = {1, 2, 3};
+    r1.acceptors = {1, 2, 3};
+    registry_->create_ring(r1);
+
+    coord::RingConfig r2;
+    r2.ring = 2;
+    r2.order = {1, 2, 3, 4};
+    r2.acceptors = {1, 2, 3};
+    registry_->create_ring(r2);
+
+    multiring::NodeConfig both;
+    both.rings = {multiring::RingSub{1, p, true},
+                  multiring::RingSub{2, p, true}};
+    multiring::NodeConfig only2;
+    only2.rings = {multiring::RingSub{2, p, true}};
+
+    for (ProcessId n : {1, 2, 3}) {
+      env_.spawn<TestNode>(n, registry_.get(), both, sink_);
+    }
+    env_.spawn<TestNode>(4, registry_.get(), only2, sink_);
+  }
+
+  std::vector<Delivery> delivered_at(ProcessId n) const {
+    std::vector<Delivery> out;
+    for (const auto& d : deliveries_) {
+      if (d.node == n) out.push_back(d);
+    }
+    return out;
+  }
+
+  sim::Env env_{42};
+  std::unique_ptr<coord::Registry> registry_ =
+      std::make_unique<coord::Registry>(env_);
+  std::vector<Delivery> deliveries_;
+  std::shared_ptr<Sink> sink_ = std::make_shared<Sink>(
+      [this](ProcessId n, GroupId g, InstanceId i, const Payload& p) {
+        deliveries_.push_back({n, g, i, p.as_string()});
+      });
+};
+
+TEST_F(MultiRingTest, LearnersWithSameSubscriptionsDeliverIdentically) {
+  build_fig2c();
+  env_.sim().run_for(from_millis(20));
+  for (int i = 0; i < 30; ++i) {
+    const GroupId g = (i % 2) + 1;
+    env_.process_as<TestNode>(1)->multicast(g, Payload("m" + std::to_string(i)));
+    env_.sim().run_for(from_millis(3));
+  }
+  env_.sim().run_for(from_millis(1000));
+
+  auto d1 = delivered_at(1);
+  auto d2 = delivered_at(2);
+  auto d3 = delivered_at(3);
+  ASSERT_EQ(d1.size(), 30u);
+  ASSERT_EQ(d2.size(), d1.size());
+  ASSERT_EQ(d3.size(), d1.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].payload, d2[i].payload) << "diverged at " << i;
+    EXPECT_EQ(d1[i].payload, d3[i].payload) << "diverged at " << i;
+  }
+}
+
+TEST_F(MultiRingTest, PartialSubscriberSeesOnlyItsGroup) {
+  build_fig2c();
+  env_.sim().run_for(from_millis(20));
+  for (int i = 0; i < 10; ++i) {
+    env_.process_as<TestNode>(1)->multicast(1, Payload("g1-" + std::to_string(i)));
+    env_.process_as<TestNode>(1)->multicast(2, Payload("g2-" + std::to_string(i)));
+  }
+  env_.sim().run_for(from_millis(1000));
+
+  auto d4 = delivered_at(4);
+  ASSERT_EQ(d4.size(), 10u);
+  for (auto& d : d4) {
+    EXPECT_EQ(d.group, 2);
+    EXPECT_EQ(d.payload.substr(0, 3), "g2-");
+  }
+}
+
+TEST_F(MultiRingTest, GroupStreamsAgreeAcrossDifferentPartitions) {
+  build_fig2c();
+  env_.sim().run_for(from_millis(20));
+  for (int i = 0; i < 12; ++i) {
+    env_.process_as<TestNode>(2)->multicast(2, Payload("z" + std::to_string(i)));
+    env_.sim().run_for(from_millis(2));
+  }
+  env_.sim().run_for(from_millis(1000));
+
+  // Node 1 (subscribes 1+2) and node 4 (subscribes 2 only) must see the
+  // same ring-2 message sequence.
+  std::vector<std::string> s1, s4;
+  for (auto& d : delivered_at(1)) {
+    if (d.group == 2) s1.push_back(d.payload);
+  }
+  for (auto& d : delivered_at(4)) s4.push_back(d.payload);
+  EXPECT_EQ(s1, s4);
+}
+
+TEST_F(MultiRingTest, IdleRingDoesNotBlockLoadedRing) {
+  build_fig2c(/*lambda=*/2000);
+  env_.sim().run_for(from_millis(20));
+  // Only ring 1 carries traffic; ring 2 is idle and must be filled by
+  // rate-leveling skips so that nodes 1-3 keep delivering ring 1.
+  for (int i = 0; i < 20; ++i) {
+    env_.process_as<TestNode>(3)->multicast(1, Payload("only1-" + std::to_string(i)));
+    env_.sim().run_for(from_millis(2));
+  }
+  env_.sim().run_for(from_millis(1000));
+  EXPECT_EQ(delivered_at(1).size(), 20u);
+  EXPECT_EQ(delivered_at(2).size(), 20u);
+}
+
+TEST_F(MultiRingTest, WithoutRateLevelingIdleRingStallsMerge) {
+  build_fig2c(/*lambda=*/0);  // rate leveling off
+  env_.sim().run_for(from_millis(20));
+  env_.process_as<TestNode>(1)->multicast(1, Payload(std::string("lonely")));
+  env_.sim().run_for(from_millis(500));
+  // One message in ring 1 can be delivered (merge starts at ring 1), but a
+  // second must stall waiting for ring 2 traffic.
+  env_.process_as<TestNode>(1)->multicast(1, Payload(std::string("stuck")));
+  env_.sim().run_for(from_millis(500));
+  auto d1 = delivered_at(1);
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0].payload, "lonely");
+  // Traffic on ring 2 unblocks the merge.
+  env_.process_as<TestNode>(1)->multicast(2, Payload(std::string("unblock")));
+  env_.sim().run_for(from_millis(500));
+  EXPECT_EQ(delivered_at(1).size(), 3u);
+}
+
+TEST_F(MultiRingTest, CrossGroupDeliveryRelationIsAcyclic) {
+  build_fig2c();
+  env_.sim().run_for(from_millis(20));
+  for (int i = 0; i < 20; ++i) {
+    env_.process_as<TestNode>(1)->multicast((i % 2) + 1,
+                                            Payload("c" + std::to_string(i)));
+    env_.sim().run_for(from_millis(1));
+  }
+  env_.sim().run_for(from_millis(1000));
+
+  // Build the global delivery-order relation: for every ordered pair of
+  // messages delivered by some node, record an edge; the union must stay
+  // consistent (no node orders m before m' while another orders m' before
+  // m). With identical subscriptions for nodes 1-3 and a subset for node 4,
+  // pairwise consistency is exactly the paper's acyclic-order property.
+  std::map<std::string, std::map<std::string, bool>> before;
+  for (ProcessId n : {1, 2, 3, 4}) {
+    auto ds = delivered_at(n);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      for (std::size_t j = i + 1; j < ds.size(); ++j) {
+        before[ds[i].payload][ds[j].payload] = true;
+      }
+    }
+  }
+  for (const auto& [a, succ] : before) {
+    for (const auto& [b, _] : succ) {
+      EXPECT_FALSE(before.count(b) && before.at(b).count(a))
+          << "cycle: " << a << " <-> " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrp

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "paxos/paxos.hpp"
+
+namespace mrp::paxos {
+namespace {
+
+Promise promise(InstanceId i, Round vr, const std::string& v,
+                bool decided = false) {
+  Promise p;
+  p.instance = i;
+  p.vround = vr;
+  p.value.payload = Payload(v);
+  p.decided = decided;
+  return p;
+}
+
+TEST(ChooseValue, EmptyQuorumFreesChoice) {
+  std::vector<Promise> ps;
+  EXPECT_FALSE(choose_phase1_value(ps).has_value());
+}
+
+TEST(ChooseValue, NoVotesFreesChoice) {
+  std::vector<Promise> ps{promise(0, 0, ""), promise(0, 0, "")};
+  EXPECT_FALSE(choose_phase1_value(ps).has_value());
+}
+
+TEST(ChooseValue, HighestVroundWins) {
+  std::vector<Promise> ps{promise(0, 1, "old"), promise(0, 3, "newer"),
+                          promise(0, 2, "mid")};
+  auto v = choose_phase1_value(ps);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->payload.as_string(), "newer");
+}
+
+TEST(ChooseValue, DecidedShortCircuits) {
+  std::vector<Promise> ps{promise(0, 9, "high"),
+                          promise(0, 1, "done", true)};
+  auto v = choose_phase1_value(ps);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->payload.as_string(), "done");
+}
+
+TEST(Quorum, MajorityThresholds) {
+  // 3 acceptors: need 2 votes.
+  EXPECT_FALSE(is_quorum(0b001, 3));
+  EXPECT_TRUE(is_quorum(0b011, 3));
+  EXPECT_TRUE(is_quorum(0b111, 3));
+  // 1 acceptor: need 1.
+  EXPECT_TRUE(is_quorum(0b1, 1));
+  // 4 acceptors: need 3.
+  EXPECT_FALSE(is_quorum(0b0011, 4));
+  EXPECT_TRUE(is_quorum(0b0111, 4));
+  // 5 acceptors: need 3.
+  EXPECT_TRUE(is_quorum(0b10101, 5));
+  EXPECT_FALSE(is_quorum(0b10001, 5));
+}
+
+TEST(Quorum, VoteCount) {
+  EXPECT_EQ(vote_count(0), 0);
+  EXPECT_EQ(vote_count(0b1011), 3);
+}
+
+TEST(Value, SkipConstruction) {
+  Value v = Value::skip({1, 2}, 40);
+  EXPECT_TRUE(v.is_skip());
+  EXPECT_EQ(v.skip_count, 40u);
+  EXPECT_TRUE(v.payload.empty());
+}
+
+TEST(Value, WireSizeIncludesPayload) {
+  Value v;
+  v.payload = Payload(Bytes(100, 7));
+  EXPECT_EQ(v.wire_size(), 124u);
+}
+
+}  // namespace
+}  // namespace mrp::paxos

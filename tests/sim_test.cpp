@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/env.hpp"
+
+namespace mrp::sim {
+namespace {
+
+struct TestMsg final : Message {
+  int payload = 0;
+  std::size_t size = 100;
+  int kind() const override { return 1; }
+  std::size_t wire_size() const override { return size; }
+};
+
+/// Records everything it receives.
+class Recorder : public Process {
+ public:
+  using Process::Process;
+  void on_message(ProcessId from, const Message& m) override {
+    received.emplace_back(from, msg_cast<TestMsg>(m).payload, now());
+  }
+  std::vector<std::tuple<ProcessId, int, TimeNs>> received;
+};
+
+MessagePtr mk(int payload, std::size_t size = 100) {
+  auto m = std::make_shared<TestMsg>();
+  m->payload = payload;
+  m->size = size;
+  return m;
+}
+
+TEST(Simulator, EventOrderingByTimeThenFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(10, [&] { order.push_back(3); });  // same time: FIFO
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1234);
+  EXPECT_EQ(sim.now(), 1234);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    sim.schedule_after(1, [&] { ++fired; });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 2);
+}
+
+TEST(Network, LatencyAppliedOneWay) {
+  Env env;
+  auto* a = env.spawn<Recorder>(1);
+  (void)a;
+  auto* b = env.spawn<Recorder>(2);
+  env.net().set_default_link({from_millis(5), 1e12});
+  env.send_from(1, 2, mk(7));
+  env.sim().run_until_idle();
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(std::get<1>(b->received[0]), 7);
+  EXPECT_GE(std::get<2>(b->received[0]), from_millis(5));
+  EXPECT_LT(std::get<2>(b->received[0]), from_millis(5.2));
+}
+
+TEST(Network, BandwidthSerializesLargeMessages) {
+  Env env;
+  env.spawn<Recorder>(1);
+  auto* b = env.spawn<Recorder>(2);
+  // 1 MB/s => a 100 KB message takes 100 ms to transmit.
+  env.net().set_default_link({0, 8e6});
+  env.send_from(1, 2, mk(1, 100'000));
+  env.send_from(1, 2, mk(2, 100'000));
+  env.sim().run_until_idle();
+  ASSERT_EQ(b->received.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(std::get<2>(b->received[0])),
+              static_cast<double>(from_millis(100)), 1e6);
+  EXPECT_NEAR(static_cast<double>(std::get<2>(b->received[1])),
+              static_cast<double>(from_millis(200)), 1e6);
+}
+
+TEST(Network, FifoPerPair) {
+  Env env;
+  env.spawn<Recorder>(1);
+  auto* b = env.spawn<Recorder>(2);
+  env.net().set_default_link({from_millis(1), 1e9});
+  for (int i = 0; i < 50; ++i) env.send_from(1, 2, mk(i, 1000));
+  env.sim().run_until_idle();
+  ASSERT_EQ(b->received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(std::get<1>(b->received[i]), i);
+}
+
+TEST(Network, SiteLatencyMatrix) {
+  Env env;
+  env.spawn<Recorder>(1);
+  auto* b = env.spawn<Recorder>(2);
+  auto* c = env.spawn<Recorder>(3);
+  env.net().set_site(1, 0);
+  env.net().set_site(2, 0);
+  env.net().set_site(3, 1);
+  env.net().set_site_local_latency(0, from_micros(50));
+  env.net().set_site_latency(0, 1, from_millis(40));
+  env.send_from(1, 2, mk(1, 10));
+  env.send_from(1, 3, mk(2, 10));
+  env.sim().run_until_idle();
+  ASSERT_EQ(b->received.size(), 1u);
+  ASSERT_EQ(c->received.size(), 1u);
+  EXPECT_LT(std::get<2>(b->received[0]), from_millis(1));
+  EXPECT_GE(std::get<2>(c->received[0]), from_millis(40));
+}
+
+TEST(Network, PartitionDropsTraffic) {
+  Env env;
+  env.spawn<Recorder>(1);
+  auto* b = env.spawn<Recorder>(2);
+  env.net().set_partitioned(1, 2, true);
+  env.send_from(1, 2, mk(1));
+  env.sim().run_until_idle();
+  EXPECT_TRUE(b->received.empty());
+  env.net().set_partitioned(1, 2, false);
+  env.send_from(1, 2, mk(2));
+  env.sim().run_until_idle();
+  EXPECT_EQ(b->received.size(), 1u);
+}
+
+TEST(Env, CrashDropsQueuedAndInFlight) {
+  Env env;
+  env.spawn<Recorder>(1);
+  auto* b = env.spawn<Recorder>(2);
+  env.net().set_default_link({from_millis(10), 1e12});
+  env.send_from(1, 2, mk(1));
+  env.sim().run_for(from_millis(1));
+  env.crash(2);  // message still in flight
+  env.sim().run_until_idle();
+  (void)b;  // b is dangling after crash; nothing delivered anywhere
+  env.recover(2);
+  auto* b2 = env.process_as<Recorder>(2);
+  EXPECT_TRUE(b2->received.empty());
+}
+
+TEST(Env, TimersCancelledOnCrash) {
+  Env env;
+  auto* a = env.spawn<Recorder>(1);
+  int fired = 0;
+  a->after(from_millis(10), [&] { ++fired; });
+  env.crash(1);
+  env.sim().run_until_idle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Env, RepeatingTimerSurvivesUntilCrash) {
+  Env env;
+  auto* a = env.spawn<Recorder>(1);
+  int fired = 0;
+  a->every(from_millis(10), [&] { ++fired; });
+  env.sim().run_until(from_millis(55));
+  EXPECT_EQ(fired, 5);
+  env.crash(1);
+  env.sim().run_until(from_millis(200));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Env, StableStorageSurvivesCrash) {
+  Env env;
+  env.spawn<Recorder>(1);
+  env.stable<int>(1, "counter") = 41;
+  env.crash(1);
+  env.recover(1);
+  EXPECT_EQ(env.stable<int>(1, "counter"), 41);
+}
+
+TEST(Env, CpuModelSerializesHandling) {
+  Env env;
+  env.spawn<Recorder>(1);
+  auto* b = env.spawn<Recorder>(2);
+  env.set_cpu(2, CpuParams{from_millis(10), 0});
+  env.net().set_default_link({0, 1e18});
+  env.send_from(1, 2, mk(1));
+  env.send_from(1, 2, mk(2));
+  env.send_from(1, 2, mk(3));
+  env.sim().run_until_idle();
+  ASSERT_EQ(b->received.size(), 3u);
+  // First handled immediately; the rest wait for the 10 ms service times.
+  EXPECT_LT(std::get<2>(b->received[0]), from_millis(1));
+  EXPECT_GE(std::get<2>(b->received[1]), from_millis(10));
+  EXPECT_GE(std::get<2>(b->received[2]), from_millis(20));
+  EXPECT_EQ(env.cpu_busy(2), from_millis(30));
+}
+
+TEST(Env, PerByteCpuCost) {
+  Env env;
+  env.spawn<Recorder>(1);
+  env.spawn<Recorder>(2);
+  env.set_cpu(2, CpuParams{0, 1.0});  // 1 ns per byte
+  env.send_from(1, 2, mk(1, 1'000'000));
+  env.sim().run_until_idle();
+  EXPECT_EQ(env.cpu_busy(2), 1'000'000);
+}
+
+TEST(Env, RecoverReconstructsFromFactory) {
+  Env env;
+  auto* a = env.spawn<Recorder>(1);
+  a->received.emplace_back(0, 0, 0);  // volatile state
+  env.crash(1);
+  env.recover(1);
+  EXPECT_TRUE(env.process_as<Recorder>(1)->received.empty());
+  EXPECT_EQ(env.epoch(1), 3u);  // spawn=1, crash=2, recover=3
+}
+
+TEST(Env, GuardSuppressesStaleCallbacks) {
+  Env env;
+  auto* a = env.spawn<Recorder>(1);
+  int fired = 0;
+  auto g = a->guard([&] { ++fired; });
+  env.crash(1);
+  env.recover(1);
+  g();  // stale epoch: must not fire
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Disk, SyncWriteLatency) {
+  Env env;
+  env.set_disk_params(1, 0, DiskParams::hdd());
+  env.spawn<Recorder>(1);
+  TimeNs done_at = -1;
+  env.disk(1, 0).write(150'000'000 / 1000, [&] { done_at = env.now(); });
+  env.sim().run_until_idle();
+  // 8 ms seek + 1 ms transfer (150 KB at 150 MB/s).
+  EXPECT_NEAR(static_cast<double>(done_at),
+              static_cast<double>(from_millis(9)), 1e6);
+}
+
+TEST(Disk, WritesQueue) {
+  Env env;
+  env.set_disk_params(1, 0, DiskParams{from_millis(5), 1e18});
+  env.spawn<Recorder>(1);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 3; ++i) {
+    env.disk(1, 0).write(10, [&] { done.push_back(env.now()); });
+  }
+  env.sim().run_until_idle();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], from_millis(5));
+  EXPECT_EQ(done[1], from_millis(10));
+  EXPECT_EQ(done[2], from_millis(15));
+}
+
+TEST(Disk, SurvivesOwnerCrash) {
+  Env env;
+  env.spawn<Recorder>(1);
+  env.disk(1, 0).write(100, nullptr);
+  env.crash(1);
+  env.recover(1);
+  EXPECT_EQ(env.disk(1, 0).writes(), 1u);
+}
+
+TEST(Determinism, SameSeedSameExecution) {
+  auto run = [](std::uint64_t seed) {
+    Env env(seed);
+    env.spawn<Recorder>(1);
+    auto* b = env.spawn<Recorder>(2);
+    env.net().set_default_link({from_micros(50), 1e10});
+    for (int i = 0; i < 100; ++i) {
+      env.send_from(1, 2, mk(static_cast<int>(env.rng().next_below(1000))));
+    }
+    env.sim().run_until_idle();
+    std::vector<int> payloads;
+    for (auto& [f, p, t] : b->received) payloads.push_back(p);
+    return payloads;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace mrp::sim

@@ -1,0 +1,159 @@
+// Workload generators: YCSB mixes, zipfian skew, latest distribution, and
+// determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/distributions.hpp"
+#include "workload/ycsb.hpp"
+
+namespace mrp::workload {
+namespace {
+
+TEST(Distributions, UniformCoversRange) {
+  Rng rng(1);
+  UniformGenerator g(10);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[g.next(rng)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (auto& [k, c] : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Distributions, ZipfianIsSkewed) {
+  Rng rng(2);
+  ZipfianGenerator g(1000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[g.next(rng)];
+  // Rank 0 must be far hotter than rank 500.
+  EXPECT_GT(counts[0], 20 * std::max(counts[500], 1));
+  // All ranks in range.
+  for (auto& [k, _] : counts) EXPECT_LT(k, 1000u);
+}
+
+TEST(Distributions, ZipfianHeadMass) {
+  Rng rng(3);
+  ZipfianGenerator g(10000);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (g.next(rng) < 100) ++head;  // hottest 1%
+  }
+  // YCSB zipfian(0.99): the hottest 1% of keys draw a large share.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Distributions, ScrambledZipfianSpreadsHotKeys) {
+  Rng rng(4);
+  ScrambledZipfianGenerator g(1000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[g.next(rng)];
+  // Still skewed: some key dominates.
+  int max_count = 0;
+  for (auto& [_, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 5000);
+  // But the hottest keys are not clustered at low indexes: the top key is
+  // essentially a random position.
+  std::uint64_t hottest = 0;
+  for (auto& [k, c] : counts) {
+    if (c == max_count) hottest = k;
+  }
+  EXPECT_GT(hottest, 10u);
+}
+
+TEST(Distributions, LatestFavorsRecent) {
+  Rng rng(5);
+  LatestGenerator g(1000);
+  int recent = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (g.next(rng, 1000) >= 990) ++recent;
+  }
+  EXPECT_GT(recent, 3000);  // newest 1% gets a large share
+}
+
+TEST(Ycsb, WorkloadMixes) {
+  struct Expect {
+    char wl;
+    double reads, updates, inserts, scans, rmws;
+  };
+  const Expect cases[] = {
+      {'A', 0.5, 0.5, 0, 0, 0},   {'B', 0.95, 0.05, 0, 0, 0},
+      {'C', 1.0, 0, 0, 0, 0},     {'D', 0.95, 0, 0.05, 0, 0},
+      {'E', 0, 0, 0.05, 0.95, 0}, {'F', 0.5, 0, 0, 0, 0.5},
+  };
+  for (const auto& c : cases) {
+    YcsbGenerator gen(YcsbSpec::workload(c.wl), 1000, 99);
+    std::map<YcsbOpType, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) ++counts[gen.next().type];
+    EXPECT_NEAR(counts[YcsbOpType::kRead] / double(n), c.reads, 0.02)
+        << "workload " << c.wl;
+    EXPECT_NEAR(counts[YcsbOpType::kUpdate] / double(n), c.updates, 0.02);
+    EXPECT_NEAR(counts[YcsbOpType::kInsert] / double(n), c.inserts, 0.02);
+    EXPECT_NEAR(counts[YcsbOpType::kScan] / double(n), c.scans, 0.02);
+    EXPECT_NEAR(counts[YcsbOpType::kReadModifyWrite] / double(n), c.rmws,
+                0.02);
+  }
+}
+
+TEST(Ycsb, KeysAreWellFormed) {
+  YcsbGenerator gen(YcsbSpec::workload('A'), 500, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const YcsbOp op = gen.next();
+    EXPECT_EQ(op.key.substr(0, 4), "user");
+    EXPECT_EQ(op.key.size(), 16u);
+  }
+  EXPECT_EQ(YcsbGenerator::key_of(42), "user000000000042");
+}
+
+TEST(Ycsb, InsertsExtendKeySpace) {
+  YcsbGenerator gen(YcsbSpec::workload('D'), 100, 8);
+  const auto before = gen.inserted();
+  int inserts = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (gen.next().type == YcsbOpType::kInsert) ++inserts;
+  }
+  EXPECT_EQ(gen.inserted(), before + static_cast<std::uint64_t>(inserts));
+  EXPECT_GT(inserts, 100);
+}
+
+TEST(Ycsb, ScanLengthsBounded) {
+  YcsbSpec spec = YcsbSpec::workload('E');
+  spec.max_scan_len = 50;
+  YcsbGenerator gen(spec, 1000, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const YcsbOp op = gen.next();
+    if (op.type == YcsbOpType::kScan) {
+      EXPECT_GE(op.scan_len, 1u);
+      EXPECT_LE(op.scan_len, 50u);
+    }
+  }
+}
+
+TEST(Ycsb, DeterministicPerSeed) {
+  YcsbGenerator a(YcsbSpec::workload('A'), 1000, 42);
+  YcsbGenerator b(YcsbSpec::workload('A'), 1000, 42);
+  for (int i = 0; i < 500; ++i) {
+    const YcsbOp oa = a.next();
+    const YcsbOp ob = b.next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+  }
+}
+
+TEST(Ycsb, ValueSizesHonored) {
+  YcsbSpec spec = YcsbSpec::workload('A');
+  spec.value_bytes = 256;
+  YcsbGenerator gen(spec, 100, 10);
+  for (int i = 0; i < 200; ++i) {
+    const YcsbOp op = gen.next();
+    if (op.type == YcsbOpType::kUpdate) {
+      EXPECT_EQ(op.value.size(), 256u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrp::workload
