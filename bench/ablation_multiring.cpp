@@ -72,6 +72,7 @@ class LoadNode : public multiring::MultiRingNode {
 struct Point {
   double ops;
   double mean_ms;
+  Histogram latency;
 };
 
 Point run(std::uint32_t merge_m, double lambda, bool load_both) {
@@ -106,7 +107,7 @@ Point run(std::uint32_t merge_m, double lambda, bool load_both) {
   const TimeNs measure = from_seconds(5);
   env.sim().run_for(measure);
   return {static_cast<double>(probe->delivered - before) / to_seconds(measure),
-          probe->latency.mean() / 1e6};
+          probe->latency.mean() / 1e6, probe->latency};
 }
 
 }  // namespace
@@ -116,9 +117,22 @@ int main() {
       "Ablation (a): merge window M, two loaded rings (1 KB values, 16 "
       "outstanding per ring)");
   std::printf("%8s %14s %12s\n", "M", "delivered/s", "mean_ms");
+
+  bench::BenchReporter rep("ablation_multiring");
+  rep.config("rings", 2)
+      .config("value_bytes", 1024)
+      .config("inflight_per_ring", 16)
+      .config("network", "cluster");
+
   for (std::uint32_t m : {1u, 2u, 8u, 32u, 128u}) {
     const Point pt = run(m, 4000, true);
     std::printf("%8u %14.0f %12.3f\n", m, pt.ops, pt.mean_ms);
+    rep.row("merge_m/" + std::to_string(m))
+        .tag("sweep", "merge_m")
+        .metric("merge_m", m)
+        .metric("lambda", 4000)
+        .metric("throughput_ops", pt.ops)
+        .latency(pt.latency);
   }
   std::printf(
       "\nWith smooth, balanced load M is performance-neutral (merge\n"
@@ -131,9 +145,15 @@ int main() {
   for (double lambda : {0.0, 500.0, 2000.0, 8000.0, 32000.0}) {
     const Point pt = run(1, lambda, false);
     std::printf("%8.0f %14.0f %12.3f\n", lambda, pt.ops, pt.mean_ms);
+    rep.row("lambda/" + std::to_string(static_cast<int>(lambda)))
+        .tag("sweep", "lambda")
+        .metric("merge_m", 1)
+        .metric("lambda", lambda)
+        .metric("throughput_ops", pt.ops)
+        .latency(pt.latency);
   }
   std::printf(
       "\nlambda=0 delivers only until the merge first waits on the idle "
       "ring — rate leveling is what keeps a multi-group learner live.\n");
-  return 0;
+  return rep.write() ? 0 : 1;
 }

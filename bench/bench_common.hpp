@@ -8,8 +8,15 @@
 // paper's 2014 testbed. EXPERIMENTS.md records both.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <system_error>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -76,5 +83,259 @@ inline void print_cdf(const Histogram& h, const std::string& label,
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+// ---------------------------------------------------------------------------
+// BenchReporter: machine-readable results alongside the printed tables.
+//
+// Every bench builds one reporter, records its configuration and one row per
+// measured configuration, and writes `BENCH_<name>.json` on exit (into
+// $MRP_BENCH_OUT if set, else the working directory). Rows carry free-form
+// numeric metrics plus a latency block (count, mean/min/max, p50/p99 and a
+// decimated CDF) derived from a Histogram. EXPERIMENTS.md documents the
+// schema and per-figure run instructions.
+
+namespace detail {
+
+inline void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// JSON has no NaN/Inf; map them to null so the file stays parseable.
+inline void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+}  // namespace detail
+
+class BenchReporter {
+ public:
+  /// One scalar: either a number or a string. Kept in insertion order.
+  struct Value {
+    bool is_number;
+    double num;
+    std::string str;
+  };
+  using Fields = std::vector<std::pair<std::string, Value>>;
+
+  class Row {
+   public:
+    explicit Row(std::string label) : label_(std::move(label)) {}
+
+    Row& metric(const std::string& key, double v) {
+      fields_.emplace_back(key, Value{true, v, {}});
+      return *this;
+    }
+    Row& tag(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, Value{false, 0, v});
+      return *this;
+    }
+
+    /// Summarises `h` (recorded in simulated nanoseconds) into millisecond
+    /// latency fields, embedding the decimated CDF for plotting.
+    Row& latency(const Histogram& h, int cdf_points = 24) {
+      has_latency_ = true;
+      lat_count_ = h.count();
+      lat_mean_ms_ = h.mean() / 1e6;
+      lat_min_ms_ = static_cast<double>(h.min()) / 1e6;
+      lat_max_ms_ = static_cast<double>(h.max()) / 1e6;
+      lat_p50_ms_ = static_cast<double>(h.quantile(0.50)) / 1e6;
+      lat_p99_ms_ = static_cast<double>(h.quantile(0.99)) / 1e6;
+      const auto cdf = h.cdf();
+      cdf_.clear();
+      if (!cdf.empty()) {
+        const std::size_t step =
+            cdf.size() <= static_cast<std::size_t>(cdf_points)
+                ? 1
+                : cdf.size() / static_cast<std::size_t>(cdf_points);
+        for (std::size_t i = 0; i < cdf.size(); i += step) {
+          cdf_.emplace_back(static_cast<double>(cdf[i].first) / 1e6,
+                            cdf[i].second);
+        }
+        if ((cdf.size() - 1) % step != 0) {
+          cdf_.emplace_back(static_cast<double>(cdf.back().first) / 1e6,
+                            cdf.back().second);
+        }
+      }
+      return *this;
+    }
+
+   private:
+    friend class BenchReporter;
+
+    std::string label_;
+    Fields fields_;
+    bool has_latency_ = false;
+    std::uint64_t lat_count_ = 0;
+    double lat_mean_ms_ = 0, lat_min_ms_ = 0, lat_max_ms_ = 0;
+    double lat_p50_ms_ = 0, lat_p99_ms_ = 0;
+    std::vector<std::pair<double, double>> cdf_;
+  };
+
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  BenchReporter(BenchReporter&& other) noexcept
+      : name_(std::move(other.name_)),
+        config_(std::move(other.config_)),
+        rows_(std::move(other.rows_)),
+        written_(other.written_) {
+    other.written_ = true;  // the moved-from shell must not write on destroy
+  }
+
+  /// Best-effort flush so a bench that forgets the final write() still
+  /// leaves a JSON file behind.
+  ~BenchReporter() {
+    if (!written_) write();
+  }
+
+  BenchReporter& config(const std::string& key, double v) {
+    config_.emplace_back(key, Value{true, v, {}});
+    return *this;
+  }
+  BenchReporter& config(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, Value{false, 0, v});
+    return *this;
+  }
+
+  Row& row(const std::string& label) {
+    rows_.emplace_back(label);
+    return rows_.back();
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Directory results land in: $MRP_BENCH_OUT, else the working directory.
+  static std::string out_dir() {
+    const char* dir = std::getenv("MRP_BENCH_OUT");
+    return dir && *dir ? std::string(dir) : std::string(".");
+  }
+
+  std::string out_path() const {
+    std::string path = out_dir();
+    if (path.back() != '/') path += '/';
+    return path + "BENCH_" + name_ + ".json";
+  }
+
+  std::string json() const {
+    std::string out = "{\n  \"bench\": \"";
+    detail::append_json_escaped(out, name_);
+    out += "\",\n  \"schema_version\": 1,\n  \"config\": ";
+    append_fields(out, config_, "  ");
+    out += ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      append_row(out, rows_[i]);
+    }
+    out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+  bool write() {
+    written_ = true;
+    // A missing $MRP_BENCH_OUT directory must not discard a finished run.
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir(), ec);
+    const std::string path = out_path();
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    f << json();
+    f.close();
+    if (f.good()) std::printf("\nwrote %s\n", path.c_str());
+    return f.good();
+  }
+
+ private:
+  static void append_value(std::string& out, const Value& v) {
+    if (v.is_number) {
+      detail::append_json_number(out, v.num);
+    } else {
+      out += '"';
+      detail::append_json_escaped(out, v.str);
+      out += '"';
+    }
+  }
+
+  static void append_fields(std::string& out, const Fields& fields,
+                            const std::string& indent) {
+    if (fields.empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += indent + "  \"";
+      detail::append_json_escaped(out, fields[i].first);
+      out += "\": ";
+      append_value(out, fields[i].second);
+    }
+    out += "\n" + indent + "}";
+  }
+
+  static void append_row(std::string& out, const Row& r) {
+    out += "    {\n      \"label\": \"";
+    detail::append_json_escaped(out, r.label_);
+    out += "\",\n      \"metrics\": ";
+    append_fields(out, r.fields_, "      ");
+    if (r.has_latency_) {
+      out += ",\n      \"latency\": {\n        \"count\": ";
+      detail::append_json_number(out, static_cast<double>(r.lat_count_));
+      out += ",\n        \"mean_ms\": ";
+      detail::append_json_number(out, r.lat_mean_ms_);
+      out += ",\n        \"min_ms\": ";
+      detail::append_json_number(out, r.lat_min_ms_);
+      out += ",\n        \"max_ms\": ";
+      detail::append_json_number(out, r.lat_max_ms_);
+      out += ",\n        \"p50_ms\": ";
+      detail::append_json_number(out, r.lat_p50_ms_);
+      out += ",\n        \"p99_ms\": ";
+      detail::append_json_number(out, r.lat_p99_ms_);
+      out += ",\n        \"cdf_ms\": [";
+      for (std::size_t i = 0; i < r.cdf_.size(); ++i) {
+        if (i) out += ", ";
+        out += '[';
+        detail::append_json_number(out, r.cdf_[i].first);
+        out += ", ";
+        detail::append_json_number(out, r.cdf_[i].second);
+        out += ']';
+      }
+      out += "]\n      }";
+    }
+    out += "\n    }";
+  }
+
+  std::string name_;
+  Fields config_;
+  // deque: row() hands out references that must survive later row() calls.
+  std::deque<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace mrp::bench

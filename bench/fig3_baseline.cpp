@@ -118,6 +118,7 @@ struct Row {
   double mean_ms;
   double p50_ms;
   double cpu_pct;
+  Histogram latency;
 };
 
 Row run_config(const StorageMode& mode, std::size_t value_bytes,
@@ -170,6 +171,7 @@ Row run_config(const StorageMode& mode, std::size_t value_bytes,
   row.mean_ms = driver->latency().mean() / 1e6;
   row.p50_ms = static_cast<double>(driver->latency().quantile(0.5)) / 1e6;
   row.cpu_pct = cpu_pct;
+  row.latency = driver->latency();
   if (cdf_out) cdf_out->merge(driver->latency());
   return row;
 }
@@ -183,6 +185,13 @@ int main() {
   std::printf("%-10s %8s %12s %12s %10s %10s\n", "mode", "size",
               "tput_mbps", "mean_ms", "p50_ms", "cpu%@coord");
 
+  bench::BenchReporter rep("fig3_baseline");
+  rep.config("rings", 1)
+      .config("processes", 3)
+      .config("proposer_threads", kProposerThreads)
+      .config("batching", "off")
+      .config("network", "cluster");
+
   std::map<std::string, Histogram> cdfs;
   for (const auto& mode : kModes) {
     for (std::size_t size : kSizes) {
@@ -192,10 +201,16 @@ int main() {
       const Row r = run_config(mode, size, cdf);
       std::printf("%-10s %8zu %12.1f %12.3f %10.3f %10.1f\n", r.mode.c_str(),
                   r.size, r.mbps, r.mean_ms, r.p50_ms, r.cpu_pct);
+      rep.row(r.mode + "/" + std::to_string(r.size))
+          .tag("mode", r.mode)
+          .metric("size_bytes", static_cast<double>(r.size))
+          .metric("throughput_mbps", r.mbps)
+          .metric("coordinator_cpu_pct", r.cpu_pct)
+          .latency(r.latency);
     }
   }
 
   bench::print_header("Figure 3 (bottom-right): latency CDF at 32 KB");
   for (const auto& [mode, h] : cdfs) bench::print_cdf(h, mode);
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -45,6 +45,7 @@ struct SystemAdapter {
 struct RunResult {
   double ops_per_sec = 0;
   double read_ms = 0, update_ms = 0, rmw_ms = 0;
+  Histogram latency;  // all completed ops
 };
 
 RunResult drive(sim::Env& env, const SystemAdapter& sys, char wl,
@@ -61,6 +62,7 @@ RunResult drive(sim::Env& env, const SystemAdapter& sys, char wl,
   auto states = std::make_shared<std::vector<WorkerState>>(kThreads);
   auto ops_done = std::make_shared<std::uint64_t>(0);
   auto hist = std::make_shared<std::map<int, Histogram>>();  // by op type
+  auto all = std::make_shared<Histogram>();  // every completed YCSB op
 
   auto next_fn = [gen, states, &sys](std::uint32_t w)
       -> std::optional<smr::Request> {
@@ -95,7 +97,7 @@ RunResult drive(sim::Env& env, const SystemAdapter& sys, char wl,
     return std::nullopt;
   };
 
-  auto done_fn = [states, ops_done, hist](const smr::Completion& c) {
+  auto done_fn = [states, ops_done, hist, all](const smr::Completion& c) {
     WorkerState& ws = (*states)[c.worker];
     switch (ws.last_type) {
       case YcsbOpType::kReadModifyWrite:
@@ -110,9 +112,11 @@ RunResult drive(sim::Env& env, const SystemAdapter& sys, char wl,
         (*hist)[static_cast<int>(YcsbOpType::kUpdate)].record(c.latency);
         (*hist)[static_cast<int>(YcsbOpType::kReadModifyWrite)].record(
             c.issued_at + c.latency - ws.rmw_started);
+        all->record(c.issued_at + c.latency - ws.rmw_started);
         break;
       default:
         (*hist)[static_cast<int>(ws.last_type)].record(c.latency);
+        all->record(c.latency);
         break;
     }
     ++(*ops_done);
@@ -126,6 +130,7 @@ RunResult drive(sim::Env& env, const SystemAdapter& sys, char wl,
   env.sim().run_for(from_seconds(1));  // warmup
   const std::uint64_t before = *ops_done;
   for (auto& [_, h] : *hist) h.clear();
+  all->clear();
   const TimeNs measure = from_seconds(5);
   env.sim().run_for(measure);
 
@@ -135,6 +140,7 @@ RunResult drive(sim::Env& env, const SystemAdapter& sys, char wl,
   r.update_ms = (*hist)[static_cast<int>(YcsbOpType::kUpdate)].mean() / 1e6;
   r.rmw_ms =
       (*hist)[static_cast<int>(YcsbOpType::kReadModifyWrite)].mean() / 1e6;
+  r.latency = *all;
   return r;
 }
 
@@ -250,7 +256,27 @@ int main() {
       "RF=3 (ops/s)");
   std::printf("%10s %12s %18s %14s %12s\n", "workload", "cassandra",
               "mrp_indep_rings", "mrp_global", "mysql");
-  RunResult f_cass{}, f_indep{}, f_global{}, f_mysql{};
+
+  bench::BenchReporter rep("fig4_ycsb");
+  rep.config("client_threads", kThreads)
+      .config("records", static_cast<double>(kRecords))
+      .config("partitions", 3)
+      .config("replication_factor", 3)
+      .config("value_bytes", 1024)
+      .config("network", "cluster");
+  const auto report = [&rep](const std::string& system, char wl,
+                             const RunResult& r) {
+    rep.row(system + "/" + std::string(1, wl))
+        .tag("system", system)
+        .tag("workload", std::string(1, wl))
+        .metric("throughput_ops", r.ops_per_sec)
+        .metric("read_mean_ms", r.read_ms)
+        .metric("update_mean_ms", r.update_ms)
+        .metric("rmw_mean_ms", r.rmw_ms)
+        .latency(r.latency);
+  };
+
+  RunResult f_cass, f_indep, f_global, f_mysql;
   for (char wl : {'A', 'B', 'C', 'D', 'E', 'F'}) {
     const RunResult cass = run_cassandra(wl);
     const RunResult indep = run_mrpstore(wl, false);
@@ -258,6 +284,10 @@ int main() {
     const RunResult my = run_mysql(wl);
     std::printf("%10c %12.0f %18.0f %14.0f %12.0f\n", wl, cass.ops_per_sec,
                 indep.ops_per_sec, glob.ops_per_sec, my.ops_per_sec);
+    report("cassandra", wl, cass);
+    report("mrp_indep_rings", wl, indep);
+    report("mrp_global", wl, glob);
+    report("mysql", wl, my);
     if (wl == 'F') {
       f_cass = cass;
       f_indep = indep;
@@ -277,5 +307,5 @@ int main() {
               f_mysql.update_ms);
   std::printf("%10s %12.2f %18.2f %14.2f %12.2f\n", "rmw", f_cass.rmw_ms,
               f_indep.rmw_ms, f_global.rmw_ms, f_mysql.rmw_ms);
-  return 0;
+  return rep.write() ? 0 : 1;
 }

@@ -31,6 +31,7 @@ sim::DiskParams journal_disk() { return {from_micros(600), 150e6}; }
 struct Point {
   double ops_per_sec;
   double mean_ms;
+  Histogram latency;
 };
 
 Point run_dlog(int threads) {
@@ -69,7 +70,7 @@ Point run_dlog(int threads) {
   const TimeNs measure = from_seconds(8);
   env.sim().run_for(measure);
   return {static_cast<double>(c->completed() - before) / to_seconds(measure),
-          c->latency_histogram().mean() / 1e6};
+          c->latency_histogram().mean() / 1e6, c->latency_histogram()};
 }
 
 Point run_bookkeeper(int threads) {
@@ -106,7 +107,7 @@ Point run_bookkeeper(int threads) {
   const TimeNs measure = from_seconds(8);
   env.sim().run_for(measure);
   return {static_cast<double>(c->completed() - before) / to_seconds(measure),
-          c->latency_histogram().mean() / 1e6};
+          c->latency_histogram().mean() / 1e6, c->latency_histogram()};
 }
 
 }  // namespace
@@ -116,11 +117,30 @@ int main() {
       "Figure 5: dLog vs Bookkeeper (1 KB appends, synchronous durability)");
   std::printf("%8s %16s %14s %18s %16s\n", "threads", "dlog_ops/s",
               "dlog_ms", "bookkeeper_ops/s", "bookkeeper_ms");
+
+  bench::BenchReporter rep("fig5_dlog_bookkeeper");
+  rep.config("append_bytes", 1024)
+      .config("durability", "sync")
+      .config("dlog_rings", 2)
+      .config("bookies", 3)
+      .config("ack_quorum", 2)
+      .config("network", "cluster");
+
   for (int threads : kThreadCounts) {
     const Point d = run_dlog(threads);
     const Point b = run_bookkeeper(threads);
     std::printf("%8d %16.0f %14.2f %18.0f %16.2f\n", threads, d.ops_per_sec,
                 d.mean_ms, b.ops_per_sec, b.mean_ms);
+    rep.row("dlog/" + std::to_string(threads))
+        .tag("system", "dlog")
+        .metric("threads", threads)
+        .metric("throughput_ops", d.ops_per_sec)
+        .latency(d.latency);
+    rep.row("bookkeeper/" + std::to_string(threads))
+        .tag("system", "bookkeeper")
+        .metric("threads", threads)
+        .metric("throughput_ops", b.ops_per_sec)
+        .latency(b.latency);
   }
-  return 0;
+  return rep.write() ? 0 : 1;
 }

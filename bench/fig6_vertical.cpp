@@ -89,6 +89,15 @@ int main() {
       "1 KB appends batched to 32 KB)");
   std::printf("%8s %18s %12s %14s\n", "rings", "aggregate_ops/s",
               "linear_pct", "mean_lat_ms");
+
+  bench::BenchReporter rep("fig6_vertical");
+  rep.config("servers", 3)
+      .config("workers_per_ring", kWorkersPerRing)
+      .config("append_bytes", 1024)
+      .config("batch_bytes", 32 * 1024)
+      .config("write_mode", "async")
+      .config("network", "cluster");
+
   double prev_per_ring = 0;
   std::vector<Histogram> cdfs;
   for (std::size_t rings = 1; rings <= 5; ++rings) {
@@ -98,6 +107,11 @@ int main() {
         prev_per_ring > 0 ? 100.0 * per_ring / prev_per_ring : 100.0;
     std::printf("%8zu %18.0f %11.0f%% %14.2f\n", rings, p.aggregate_ops, pct,
                 p.disk1_latency.mean() / 1e6);
+    rep.row(std::to_string(rings) + "-rings")
+        .metric("rings", static_cast<double>(rings))
+        .metric("throughput_ops", p.aggregate_ops)
+        .metric("linear_scaling_pct", pct)
+        .latency(p.disk1_latency);
     prev_per_ring = per_ring;
     cdfs.push_back(std::move(p.disk1_latency));
   }
@@ -105,5 +119,5 @@ int main() {
   for (std::size_t i = 0; i < cdfs.size(); ++i) {
     bench::print_cdf(cdfs[i], std::to_string(i + 1) + " log(s)", 10);
   }
-  return 0;
+  return rep.write() ? 0 : 1;
 }

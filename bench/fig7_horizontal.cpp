@@ -165,6 +165,16 @@ int main() {
       "lambda=2000)");
   std::printf("%8s %18s %12s %s\n", "regions", "aggregate_ops/s",
               "linear_pct", "per-region ops/s");
+
+  bench::BenchReporter rep("fig7_horizontal");
+  rep.config("workers_per_region", kWorkersPerRegion)
+      .config("think_time_ms", static_cast<double>(kThinkTime) / 1e6)
+      .config("command_bytes", 1024)
+      .config("batch_bytes", 32 * 1024)
+      .config("lambda", 2000)
+      .config("delta_ms", 20)
+      .config("network", "ec2");
+
   double prev_per_region = 0;
   std::vector<Histogram> cdfs;
   for (int regions = 1; regions <= 4; ++regions) {
@@ -173,9 +183,16 @@ int main() {
     const double pct =
         prev_per_region > 0 ? 100.0 * per_region / prev_per_region : 100.0;
     std::printf("%8d %18.0f %11.0f%%  [", regions, p.aggregate_ops, pct);
+    auto& row = rep.row(std::to_string(regions) + "-regions")
+                    .metric("regions", regions)
+                    .metric("throughput_ops", p.aggregate_ops)
+                    .metric("linear_scaling_pct", pct)
+                    .latency(p.uswest2_latency);
     for (std::size_t i = 0; i < p.per_region_ops.size(); ++i) {
       std::printf("%s%s=%.0f", i ? " " : "",
                   bench::region_name(kRegionOrder[i]), p.per_region_ops[i]);
+      row.metric(std::string("ops_") + bench::region_name(kRegionOrder[i]),
+                 p.per_region_ops[i]);
     }
     std::printf("]\n");
     prev_per_region = per_region;
@@ -185,5 +202,5 @@ int main() {
   for (std::size_t i = 0; i < cdfs.size(); ++i) {
     bench::print_cdf(cdfs[i], std::to_string(i + 1) + " region(s)", 10);
   }
-  return 0;
+  return rep.write() ? 0 : 1;
 }

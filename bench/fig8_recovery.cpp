@@ -64,6 +64,7 @@ int main() {
   ThroughputTimeline tput(kWindow);
   std::vector<double> lat_sum(static_cast<std::size_t>(kRuntime / kWindow) + 1);
   std::vector<std::uint64_t> lat_n(lat_sum.size());
+  Histogram overall_latency;
   smr::ClientNode::Options copts;
   copts.workers = 640;
   copts.retry_timeout = 2 * kSecond;
@@ -79,6 +80,7 @@ int main() {
       smr::ClientNode::DoneFn([&](const smr::Completion& c) {
         const TimeNs t = c.issued_at + c.latency;
         tput.record(t);
+        overall_latency.record(c.latency);
         const auto w = static_cast<std::size_t>(t / kWindow);
         if (w < lat_sum.size()) {
           lat_sum[w] += static_cast<double>(c.latency);
@@ -129,8 +131,21 @@ int main() {
       "replicas, ~75% of peak load; replica killed at 20 s, restarted at "
       "240 s)");
   std::printf("%8s %12s %12s  %s\n", "t_sec", "ops/s", "mean_ms", "events");
+
+  bench::BenchReporter rep("fig8_recovery");
+  rep.config("runtime_s", to_seconds(kRuntime))
+      .config("kill_at_s", to_seconds(kKillAt))
+      .config("recover_at_s", to_seconds(kRecoverAt))
+      .config("window_s", to_seconds(kWindow))
+      .config("workers", copts.workers)
+      .config("write_mode", "async")
+      .config("network", "cluster");
+
   const auto series = tput.series();
+  double sum_ops = 0;
+  std::size_t windows = 0;
   for (std::size_t w = 0; w < series.size() && w < lat_sum.size(); ++w) {
+    const double t_sec = static_cast<double>(w) * to_seconds(kWindow);
     const double mean_ms =
         lat_n[w] ? lat_sum[w] / static_cast<double>(lat_n[w]) / 1e6 : 0.0;
     std::string marks;
@@ -138,9 +153,19 @@ int main() {
       if (!marks.empty()) marks += ' ';
       marks += m;
     }
-    std::printf("%8.0f %12.0f %12.2f  %s\n",
-                static_cast<double>(w) * to_seconds(kWindow), series[w],
-                mean_ms, marks.c_str());
+    std::printf("%8.0f %12.0f %12.2f  %s\n", t_sec, series[w], mean_ms,
+                marks.c_str());
+    auto& row = rep.row("t=" + std::to_string(static_cast<int>(t_sec)))
+                    .metric("t_sec", t_sec)
+                    .metric("throughput_ops", series[w])
+                    .metric("mean_ms", mean_ms);
+    if (!marks.empty()) row.tag("events", marks);
+    sum_ops += series[w];
+    ++windows;
   }
-  return 0;
+  rep.row("overall")
+      .metric("throughput_ops",
+              windows ? sum_ops / static_cast<double>(windows) : 0.0)
+      .latency(overall_latency);
+  return rep.write() ? 0 : 1;
 }

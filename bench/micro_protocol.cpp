@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "bench_common.hpp"
 #include "codec/codec.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
@@ -146,6 +147,50 @@ void BM_RingPaxosInstance(benchmark::State& state) {
 }
 BENCHMARK(BM_RingPaxosInstance);
 
+/// Google Benchmark renamed Run::error_occurred to Run::skipped in v1.8.0;
+/// probe for either so this builds against both generations.
+template <typename R>
+auto run_skipped(const R& run, int) -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+template <typename R>
+auto run_skipped(const R& run, long) -> decltype(run.error_occurred) {
+  return run.error_occurred;
+}
+
+/// Mirrors every benchmark run into a BenchReporter row while keeping the
+/// normal console table, so micro results land in BENCH_micro_protocol.json
+/// like the figure benches.
+class JsonBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(mrp::bench::BenchReporter* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run_skipped(run, 0)) continue;
+      auto& row = rep_->row(run.benchmark_name());
+      row.metric("iterations", static_cast<double>(run.iterations))
+          .metric("real_ns_per_iter", run.GetAdjustedRealTime())
+          .metric("cpu_ns_per_iter", run.GetAdjustedCPUTime());
+      for (const auto& [name, counter] : run.counters) {
+        row.metric(name, counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  mrp::bench::BenchReporter* rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  mrp::bench::BenchReporter rep("micro_protocol");
+  JsonBridgeReporter console(&rep);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  return rep.write() ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every figure/ablation/micro bench and collects the BENCH_<name>.json
+# files (plus console logs) in one output directory.
+#
+# Usage: bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
+#   OUT_DIR    where JSON + logs land (default: bench_results)
+#
+# Only benches present in BUILD_DIR are run (micro_protocol is skipped when
+# Google Benchmark was unavailable at configure time). Exits non-zero if any
+# bench fails or fails to produce its JSON.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+BENCHES=(fig3_baseline fig4_ycsb fig5_dlog_bookkeeper fig6_vertical
+         fig7_horizontal fig8_recovery ablation_multiring micro_protocol)
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — configure and build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+export MRP_BENCH_OUT="$OUT_DIR"
+
+failures=0
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "--- $bench: not built, skipping"
+    continue
+  fi
+  echo "--- $bench"
+  if ! "$bin" > "$OUT_DIR/$bench.log" 2>&1; then
+    echo "    FAILED (see $OUT_DIR/$bench.log)"
+    failures=$((failures + 1))
+    continue
+  fi
+  if [[ ! -s "$OUT_DIR/BENCH_$bench.json" ]]; then
+    echo "    FAILED: no BENCH_$bench.json produced"
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "    ok: $OUT_DIR/BENCH_$bench.json"
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "$failures bench(es) failed" >&2
+  exit 1
+fi
+echo "all benches done; results in $OUT_DIR/"

@@ -1,0 +1,313 @@
+// Asserts that BenchReporter emits well-formed JSON with the documented
+// schema (bench name, config, per-row metrics, p50/p99 latency from a
+// Histogram). Uses a self-contained recursive-descent JSON parser so the
+// file's parseability is checked for real, not by substring search.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+
+namespace mrp {
+namespace {
+
+// --- Minimal JSON parser ---------------------------------------------------
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+      ADD_FAILURE() << "missing key: " << key;
+      static const Json null;
+      return null;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            pos_ += 4;  // keep the test simple: skip the code point
+            *out += '?';
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return consume('"');
+  }
+
+  bool number(double* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      *out = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = Json::Kind::String;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->kind = Json::Kind::Bool;
+      out->b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = Json::Kind::Bool;
+      out->b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->kind = Json::Kind::Null;
+      return literal("null");
+    }
+    out->kind = Json::Kind::Number;
+    return number(&out->num);
+  }
+
+  bool object(Json* out) {
+    out->kind = Json::Kind::Object;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      Json v;
+      if (!value(&v)) return false;
+      out->obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array(Json* out) {
+    out->kind = Json::Kind::Array;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      Json v;
+      if (!value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Tests -----------------------------------------------------------------
+
+// Reporters flush to disk on destruction; point them at the test temp dir
+// so test-scoped reporters don't litter the working directory.
+class BenchOutTempDir : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    setenv("MRP_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  }
+};
+const auto* const kBenchOutEnv =
+    ::testing::AddGlobalTestEnvironment(new BenchOutTempDir);
+
+Histogram synthetic_histogram() {
+  Histogram h;
+  // 1..100 ms in simulated nanoseconds: p50 ~ 50 ms, p99 ~ 99 ms.
+  for (int ms = 1; ms <= 100; ++ms) h.record(ms * 1'000'000LL);
+  return h;
+}
+
+bench::BenchReporter synthetic_reporter(const std::string& name) {
+  bench::BenchReporter rep(name);
+  rep.config("proposer_threads", 10);
+  rep.config("network", "cluster");
+  rep.row("sync-hdd/512")
+      .tag("mode", "sync-hdd")
+      .metric("size_bytes", 512)
+      .metric("throughput_mbps", 123.5)
+      .latency(synthetic_histogram());
+  rep.row("memory/512").metric("throughput_mbps", 456.25);
+  return rep;
+}
+
+TEST(BenchReporter, EmitsParseableJson) {
+  auto rep = synthetic_reporter("unit");
+  Json doc;
+  ASSERT_TRUE(JsonParser(rep.json()).parse(&doc)) << rep.json();
+  EXPECT_EQ(doc.kind, Json::Kind::Object);
+}
+
+TEST(BenchReporter, TopLevelSchema) {
+  auto rep = synthetic_reporter("unit");
+  Json doc;
+  ASSERT_TRUE(JsonParser(rep.json()).parse(&doc));
+  EXPECT_EQ(doc.at("bench").str, "unit");
+  EXPECT_EQ(doc.at("schema_version").num, 1);
+  EXPECT_EQ(doc.at("config").at("proposer_threads").num, 10);
+  EXPECT_EQ(doc.at("config").at("network").str, "cluster");
+  ASSERT_EQ(doc.at("rows").arr.size(), 2u);
+}
+
+TEST(BenchReporter, RowMetricsAndLatency) {
+  auto rep = synthetic_reporter("unit");
+  Json doc;
+  ASSERT_TRUE(JsonParser(rep.json()).parse(&doc));
+
+  const Json& row = doc.at("rows").arr[0];
+  EXPECT_EQ(row.at("label").str, "sync-hdd/512");
+  EXPECT_EQ(row.at("metrics").at("mode").str, "sync-hdd");
+  EXPECT_EQ(row.at("metrics").at("size_bytes").num, 512);
+  EXPECT_DOUBLE_EQ(row.at("metrics").at("throughput_mbps").num, 123.5);
+
+  const Json& lat = row.at("latency");
+  EXPECT_EQ(lat.at("count").num, 100);
+  // Histogram buckets have bounded relative error (2^-5 by default).
+  EXPECT_NEAR(lat.at("p50_ms").num, 50.0, 50.0 * 0.05);
+  EXPECT_NEAR(lat.at("p99_ms").num, 99.0, 99.0 * 0.05);
+  EXPECT_GT(lat.at("mean_ms").num, 0);
+  const Json& cdf = lat.at("cdf_ms");
+  ASSERT_EQ(cdf.kind, Json::Kind::Array);
+  ASSERT_FALSE(cdf.arr.empty());
+  EXPECT_EQ(cdf.arr[0].arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.arr.back().arr[1].num, 1.0);
+
+  // Second row: metrics only, no latency block.
+  EXPECT_FALSE(doc.at("rows").arr[1].has("latency"));
+}
+
+TEST(BenchReporter, EscapesStringsAndNonFiniteNumbers) {
+  bench::BenchReporter rep("escape");
+  rep.config("note", "line1\nline2 \"quoted\" back\\slash");
+  rep.row("nan-row").metric("bad", std::nan(""));
+  Json doc;
+  ASSERT_TRUE(JsonParser(rep.json()).parse(&doc));
+  EXPECT_EQ(doc.at("config").at("note").str,
+            "line1\nline2 \"quoted\" back\\slash");
+  EXPECT_EQ(doc.at("rows").arr[0].at("metrics").at("bad").kind,
+            Json::Kind::Null);
+}
+
+TEST(BenchReporter, EmptyReporterStillParses) {
+  bench::BenchReporter rep("empty");
+  Json doc;
+  ASSERT_TRUE(JsonParser(rep.json()).parse(&doc));
+  EXPECT_EQ(doc.at("rows").arr.size(), 0u);
+  EXPECT_EQ(doc.at("config").kind, Json::Kind::Object);
+}
+
+TEST(BenchReporter, WritesFileToMrpBenchOut) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir();  // kBenchOutEnv set MRP_BENCH_OUT
+  {
+    auto rep = synthetic_reporter(info->name());
+    EXPECT_TRUE(rep.write());
+  }
+
+  if (dir.back() != '/') dir += '/';
+  const std::string path = dir + "BENCH_" + info->name() + ".json";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  Json doc;
+  EXPECT_TRUE(JsonParser(ss.str()).parse(&doc));
+  EXPECT_EQ(doc.at("bench").str, info->name());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrp
