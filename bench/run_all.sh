@@ -7,14 +7,16 @@
 #   OUT_DIR    where JSON + logs land (default: bench_results)
 #
 # Only benches present in BUILD_DIR are run (micro_protocol is skipped when
-# Google Benchmark was unavailable at configure time). Exits non-zero if any
-# bench fails or fails to produce its JSON.
-set -u
+# Google Benchmark was unavailable at configure time). Fail-fast: exits
+# non-zero if any bench dies, produces no JSON, or produces JSON that does
+# not parse — a partial run can never look like a clean one.
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_results}"
 BENCHES=(fig3_baseline fig4_ycsb fig5_dlog_bookkeeper fig6_vertical
-         fig7_horizontal fig8_recovery ablation_multiring micro_protocol)
+         fig7_horizontal fig8_recovery fig8b_chaos ablation_multiring
+         micro_protocol)
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — configure and build first:" >&2
@@ -40,6 +42,11 @@ for bench in "${BENCHES[@]}"; do
   fi
   if [[ ! -s "$OUT_DIR/BENCH_$bench.json" ]]; then
     echo "    FAILED: no BENCH_$bench.json produced"
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! python3 -m json.tool "$OUT_DIR/BENCH_$bench.json" > /dev/null 2>&1; then
+    echo "    FAILED: BENCH_$bench.json is not valid JSON"
     failures=$((failures + 1))
     continue
   fi

@@ -188,6 +188,19 @@ std::uint64_t LogStateMachine::digest() const {
   return h;
 }
 
+std::uint64_t DLogDeployment::server_digest(sim::Env& env,
+                                            ProcessId pid) const {
+  auto* rep = env.process_as<smr::ReplicaNode>(pid);
+  return dynamic_cast<const LogStateMachine&>(rep->state_machine()).digest();
+}
+
+Position DLogDeployment::server_next_position(sim::Env& env, ProcessId pid,
+                                              LogId log) const {
+  auto* rep = env.process_as<smr::ReplicaNode>(pid);
+  return dynamic_cast<const LogStateMachine&>(rep->state_machine())
+      .next_position(log);
+}
+
 DLogDeployment build_dlog(sim::Env& env, coord::Registry& registry,
                           const DLogOptions& options) {
   MRP_CHECK(options.num_logs >= 1);

@@ -124,6 +124,17 @@ struct DLogDeployment {
   std::size_t num_logs = 0;
 
   GroupId group_of(LogId log) const { return log_groups.at(log); }
+
+  /// Order-sensitive digest of the server's full log state — the
+  /// convergence probe used by chaos scenarios (fault::watch_dlog) and
+  /// tests: all servers must agree once a run drains. `pid` must be an
+  /// alive server of this deployment.
+  std::uint64_t server_digest(sim::Env& env, ProcessId pid) const;
+
+  /// Append position the server would assign next for `log` (durability
+  /// probes: an acked append must be below this at every alive server).
+  Position server_next_position(sim::Env& env, ProcessId pid,
+                                LogId log) const;
 };
 
 DLogDeployment build_dlog(sim::Env& env, coord::Registry& registry,

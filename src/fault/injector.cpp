@@ -1,0 +1,66 @@
+#include "fault/injector.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mrp::fault {
+
+FaultInjector::FaultInjector(sim::Env& env, FaultPlan plan)
+    : env_(env), plan_(std::move(plan)) {}
+
+void FaultInjector::arm() {
+  MRP_CHECK_MSG(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+  for (const FaultEvent& e : plan_.sorted()) {
+    env_.sim().schedule_at(e.at, [this, e] { execute(e); });
+  }
+}
+
+void FaultInjector::execute(const FaultEvent& e) {
+  switch (e.kind) {
+    case ActionKind::kCrash:
+      if (!env_.is_alive(e.target)) {
+        trace_.push_back(e.describe() + " (skipped: already down)");
+        return;
+      }
+      env_.crash(e.target);
+      break;
+    case ActionKind::kRestart:
+      if (env_.is_alive(e.target)) {
+        trace_.push_back(e.describe() + " (skipped: already up)");
+        return;
+      }
+      env_.recover(e.target);
+      if (on_restart_) on_restart_(e.target);
+      break;
+    case ActionKind::kCutLink:
+      env_.net().set_partitioned(e.target, e.peer, true);
+      break;
+    case ActionKind::kHealLink:
+      env_.net().set_partitioned(e.target, e.peer, false);
+      break;
+    case ActionKind::kIsolate:
+      env_.net().set_isolated(e.target, true);
+      break;
+    case ActionKind::kRejoin:
+      env_.net().set_isolated(e.target, false);
+      break;
+    case ActionKind::kNetChaos:
+      env_.net().set_fault(e.chaos);
+      break;
+    case ActionKind::kNetCalm:
+      env_.net().clear_fault();
+      break;
+    case ActionKind::kDiskStall:
+      env_.disk(e.target, e.disk_index).stall(e.duration);
+      break;
+    case ActionKind::kDiskSlow:
+      env_.disk(e.target, e.disk_index).set_slowdown(e.factor);
+      break;
+  }
+  ++applied_;
+  trace_.push_back(e.describe());
+}
+
+}  // namespace mrp::fault

@@ -1,0 +1,54 @@
+// Executes a FaultPlan against a live sim::Env.
+//
+// arm() schedules every event of the plan on the deterministic simulator;
+// when an event fires, the injector applies it (crash, recover, cut, chaos,
+// disk fault) and appends a one-line record to the trace. Events that no
+// longer apply — crashing an already-down process after a soak overlap, for
+// example — are recorded as skipped rather than tripping an Env check, so
+// generated plans never abort a run.
+//
+// The trace is the determinism witness: two runs of the same (topology,
+// workload, plan, seed) produce byte-identical traces, which the scenario
+// tests assert by running every scenario twice.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::fault {
+
+class FaultInjector {
+ public:
+  /// Called right after a kRestart event recovered a process — harnesses
+  /// re-attach per-process instrumentation (delivery observers) here.
+  using RestartHookFn = std::function<void(ProcessId)>;
+
+  FaultInjector(sim::Env& env, FaultPlan plan);
+
+  void set_restart_hook(RestartHookFn fn) { on_restart_ = std::move(fn); }
+
+  /// Schedules all plan events on the simulator. Call exactly once, before
+  /// running the phase of the simulation the plan covers.
+  void arm();
+
+  /// One line per event applied (or skipped), in execution order.
+  const std::vector<std::string>& trace() const { return trace_; }
+  /// Events applied so far (skipped ones excluded).
+  std::size_t applied() const { return applied_; }
+
+ private:
+  void execute(const FaultEvent& e);
+
+  sim::Env& env_;
+  FaultPlan plan_;
+  RestartHookFn on_restart_;
+  bool armed_ = false;
+  std::vector<std::string> trace_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace mrp::fault

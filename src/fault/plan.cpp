@@ -1,0 +1,266 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace mrp::fault {
+
+namespace {
+
+std::string fmt_ms(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", to_millis(t));
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultEvent::describe() const {
+  std::string out = "t=" + fmt_ms(at) + "ms ";
+  switch (kind) {
+    case ActionKind::kCrash:
+      out += "crash p" + std::to_string(target);
+      break;
+    case ActionKind::kRestart:
+      out += "restart p" + std::to_string(target);
+      break;
+    case ActionKind::kCutLink:
+      out += "cut-link p" + std::to_string(target) + "-p" +
+             std::to_string(peer);
+      break;
+    case ActionKind::kHealLink:
+      out += "heal-link p" + std::to_string(target) + "-p" +
+             std::to_string(peer);
+      break;
+    case ActionKind::kIsolate:
+      out += "isolate p" + std::to_string(target);
+      break;
+    case ActionKind::kRejoin:
+      out += "rejoin p" + std::to_string(target);
+      break;
+    case ActionKind::kNetChaos: {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "net-chaos drop=%.3f dup=%.3f delay<=%.3fms", chaos.drop_p,
+                    chaos.dup_p, to_millis(chaos.extra_delay_max));
+      out += buf;
+      break;
+    }
+    case ActionKind::kNetCalm:
+      out += "net-calm";
+      break;
+    case ActionKind::kDiskStall:
+      out += "disk-stall p" + std::to_string(target) + "/d" +
+             std::to_string(disk_index) + " " + fmt_ms(duration) + "ms";
+      break;
+    case ActionKind::kDiskSlow: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " x%.2f", factor);
+      out += "disk-slow p" + std::to_string(target) + "/d" +
+             std::to_string(disk_index) + buf;
+      break;
+    }
+  }
+  return out;
+}
+
+FaultPlan& FaultPlan::crash(TimeNs at, ProcessId p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kCrash;
+  e.target = p;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(TimeNs at, ProcessId p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kRestart;
+  e.target = p;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_restart(TimeNs at, ProcessId p, TimeNs downtime) {
+  MRP_CHECK(downtime > 0);
+  crash(at, p);
+  return restart(at + downtime, p);
+}
+
+FaultPlan& FaultPlan::cut_link(TimeNs at, ProcessId a, ProcessId b) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kCutLink;
+  e.target = a;
+  e.peer = b;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_link(TimeNs at, ProcessId a, ProcessId b) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kHealLink;
+  e.target = a;
+  e.peer = b;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::isolate(TimeNs at, ProcessId p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kIsolate;
+  e.target = p;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::rejoin(TimeNs at, ProcessId p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kRejoin;
+  e.target = p;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_window(TimeNs from, TimeNs to, ProcessId p) {
+  MRP_CHECK(to > from);
+  isolate(from, p);
+  return rejoin(to, p);
+}
+
+FaultPlan& FaultPlan::net_chaos(TimeNs at, sim::NetFault f) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kNetChaos;
+  e.chaos = f;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::net_calm(TimeNs at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kNetCalm;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::chaos_window(TimeNs from, TimeNs to, sim::NetFault f) {
+  MRP_CHECK(to > from);
+  net_chaos(from, f);
+  return net_calm(to);
+}
+
+FaultPlan& FaultPlan::disk_stall(TimeNs at, ProcessId p, int disk_index,
+                                 TimeNs duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kDiskStall;
+  e.target = p;
+  e.disk_index = disk_index;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::disk_slow(TimeNs at, ProcessId p, int disk_index,
+                                double factor) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = ActionKind::kDiskSlow;
+  e.target = p;
+  e.disk_index = disk_index;
+  e.factor = factor;
+  events_.push_back(e);
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+TimeNs FaultPlan::last_event_time() const {
+  TimeNs last = 0;
+  for (const FaultEvent& e : events_) last = std::max(last, e.at);
+  return last;
+}
+
+std::vector<std::string> FaultPlan::describe() const {
+  std::vector<std::string> out;
+  for (const FaultEvent& e : sorted()) out.push_back(e.describe());
+  return out;
+}
+
+FaultPlan FaultPlan::random_soak(Rng& rng, const SoakOptions& options) {
+  MRP_CHECK(options.duration > 0);
+  MRP_CHECK_MSG(!options.victims.empty(), "random_soak needs victims");
+  MRP_CHECK(options.mean_gap > 0);
+  MRP_CHECK(options.min_downtime > 0);
+  MRP_CHECK(options.max_downtime >= options.min_downtime);
+
+  FaultPlan plan;
+  // The last quarter of the run is fault-free so convergence and liveness
+  // checks have a quiet tail to observe.
+  const TimeNs horizon = options.duration * 3 / 4;
+  TimeNs t = 0;
+  TimeNs victim_free_at = 0;  // only one victim down/isolated at a time
+  TimeNs chaos_free_at = 0;   // chaos windows never overlap
+
+  for (;;) {
+    t += static_cast<TimeNs>(
+        rng.next_exponential(static_cast<double>(options.mean_gap)));
+    if (t >= horizon) break;
+    switch (rng.next_below(3)) {
+      case 0: {  // crash + restart
+        if (t < victim_free_at) break;
+        const ProcessId v = options.victims[rng.next_below(
+            options.victims.size())];
+        const TimeNs down =
+            options.min_downtime +
+            static_cast<TimeNs>(rng.next_below(static_cast<std::uint64_t>(
+                options.max_downtime - options.min_downtime + 1)));
+        const TimeNs up = std::min(t + down, horizon);
+        plan.crash_restart(t, v, up - t > 0 ? up - t : kMillisecond);
+        victim_free_at = up + kMillisecond;
+        break;
+      }
+      case 1: {  // isolation window
+        if (t < victim_free_at || options.max_partition <= 0) break;
+        const ProcessId v = options.victims[rng.next_below(
+            options.victims.size())];
+        const TimeNs width = kMillisecond + static_cast<TimeNs>(rng.next_below(
+            static_cast<std::uint64_t>(options.max_partition)));
+        const TimeNs to = std::min(t + width, horizon + kMillisecond);
+        plan.partition_window(t, to, v);
+        victim_free_at = to + kMillisecond;
+        break;
+      }
+      case 2: {  // chaos window
+        if (t < chaos_free_at || options.max_chaos_window <= 0 ||
+            !options.chaos.active()) {
+          break;
+        }
+        const TimeNs width = kMillisecond + static_cast<TimeNs>(rng.next_below(
+            static_cast<std::uint64_t>(options.max_chaos_window)));
+        const TimeNs to = std::min(t + width, horizon + kMillisecond);
+        plan.chaos_window(t, to, options.chaos);
+        chaos_free_at = to + kMillisecond;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mrp::fault

@@ -1,0 +1,125 @@
+// Declarative fault schedules — the chaos layer's "what happens, when".
+//
+// A FaultPlan is an ordered list of timed fault events: process crashes and
+// restarts, link cuts and heals, whole-process isolation (ring partitions),
+// probabilistic network chaos windows (drop / duplicate / reordering delay)
+// and disk faults (stall windows, slow-device factors). Building a plan has
+// no side effects; a FaultInjector executes it against a sim::Env.
+//
+// Determinism: plans are plain data, the injector schedules them on the
+// deterministic simulator, and every random draw (chaos decisions inside
+// sim::Network, random_soak generation) flows from a seeded Rng — so one
+// (topology, workload, plan, seed) tuple always produces the identical
+// execution and the identical injector trace. ScenarioRunner and the chaos
+// tests rely on exactly this to make failing seeds reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace mrp::fault {
+
+/// What one fault event does. Window-shaped faults (partition, chaos, disk
+/// stall) are expressed as a pair of events (start + end) so plans stay a
+/// flat, mergeable list.
+enum class ActionKind {
+  kCrash,      ///< Env::crash(target) — volatile state destroyed.
+  kRestart,    ///< Env::recover(target) — factory re-run, recovery protocol.
+  kCutLink,    ///< Network::set_partitioned(target, peer, true).
+  kHealLink,   ///< Network::set_partitioned(target, peer, false).
+  kIsolate,    ///< Network::set_isolated(target, true) — all links cut.
+  kRejoin,     ///< Network::set_isolated(target, false).
+  kNetChaos,   ///< Network::set_fault(chaos) — probabilistic drop/dup/delay.
+  kNetCalm,    ///< Network::clear_fault().
+  kDiskStall,  ///< Disk(target, disk_index).stall(duration).
+  kDiskSlow,   ///< Disk(target, disk_index).set_slowdown(factor).
+};
+
+/// One timed fault. Fields beyond `at`/`kind` are meaningful per kind (see
+/// ActionKind); unused fields keep their defaults.
+struct FaultEvent {
+  TimeNs at = 0;
+  ActionKind kind = ActionKind::kCrash;
+  ProcessId target = kNoProcess;  ///< crash/restart/isolate/rejoin/disk/link a
+  ProcessId peer = kNoProcess;    ///< link cut/heal: the other endpoint
+  int disk_index = 0;             ///< disk faults: Env::disk index
+  TimeNs duration = 0;            ///< disk stall window
+  double factor = 1.0;            ///< disk slowdown multiplier
+  sim::NetFault chaos;            ///< net-chaos parameters
+
+  /// One-line human-readable form, also used for injector traces.
+  std::string describe() const;
+};
+
+class FaultPlan {
+ public:
+  // --- builders (all return *this for chaining) ---
+
+  FaultPlan& crash(TimeNs at, ProcessId p);
+  FaultPlan& restart(TimeNs at, ProcessId p);
+  /// crash at `at`, restart `downtime` later.
+  FaultPlan& crash_restart(TimeNs at, ProcessId p, TimeNs downtime);
+  FaultPlan& cut_link(TimeNs at, ProcessId a, ProcessId b);
+  FaultPlan& heal_link(TimeNs at, ProcessId a, ProcessId b);
+  FaultPlan& isolate(TimeNs at, ProcessId p);
+  FaultPlan& rejoin(TimeNs at, ProcessId p);
+  /// isolate at `from`, rejoin at `to`.
+  FaultPlan& partition_window(TimeNs from, TimeNs to, ProcessId p);
+  FaultPlan& net_chaos(TimeNs at, sim::NetFault f);
+  FaultPlan& net_calm(TimeNs at);
+  /// chaos from `from`, calm at `to`.
+  FaultPlan& chaos_window(TimeNs from, TimeNs to, sim::NetFault f);
+  FaultPlan& disk_stall(TimeNs at, ProcessId p, int disk_index,
+                        TimeNs duration);
+  FaultPlan& disk_slow(TimeNs at, ProcessId p, int disk_index, double factor);
+
+  // --- inspection ---
+
+  /// Events in insertion order (builders may interleave times freely).
+  const std::vector<FaultEvent>& events() const { return events_; }
+  /// Events sorted by time; ties keep insertion order (stable).
+  std::vector<FaultEvent> sorted() const;
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  /// Timestamp of the latest event, or 0 for an empty plan. ScenarioRunner
+  /// samples its liveness baselines just after this point.
+  TimeNs last_event_time() const;
+  /// One line per event, sorted by time.
+  std::vector<std::string> describe() const;
+
+  // --- random soak generation ---
+
+  struct SoakOptions {
+    /// Length of the run the plan targets. Faults are drawn only in the
+    /// first three quarters of it and every window (downtime, isolation,
+    /// chaos) closes by that 3/4 horizon, so the last quarter is
+    /// fault-free for the system to re-converge and for liveness checks.
+    TimeNs duration = 20 * kSecond;
+    /// Processes eligible for crash/isolation faults. At most one victim is
+    /// down or isolated at any time (the deployments built here tolerate
+    /// one failure per partition).
+    std::vector<ProcessId> victims;
+    TimeNs mean_gap = 2 * kSecond;  ///< mean time between fault draws
+    TimeNs min_downtime = 500 * kMillisecond;
+    TimeNs max_downtime = 3 * kSecond;
+    TimeNs max_partition = 2 * kSecond;  ///< max isolation window
+    TimeNs max_chaos_window = 2 * kSecond;
+    /// Chaos parameters used for drawn chaos windows.
+    sim::NetFault chaos{0.02, 0.02, kMillisecond};
+  };
+
+  /// Draws a random-but-reproducible schedule from `rng`: crash/restart
+  /// pairs, isolation windows and chaos windows at exponentially spaced
+  /// times. The same Rng state yields the same plan — record the seed to
+  /// replay a failing soak.
+  static FaultPlan random_soak(Rng& rng, const SoakOptions& options);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mrp::fault

@@ -1,0 +1,26 @@
+#include "fault/probes.hpp"
+
+#include <string>
+
+namespace mrp::fault {
+
+void watch_store(ScenarioRunner& runner, sim::Env& env,
+                 const mrpstore::StoreDeployment& deployment) {
+  for (std::size_t p = 0; p < deployment.replicas.size(); ++p) {
+    runner.watch_group(
+        "partition" + std::to_string(p), deployment.replicas[p],
+        [&env, &deployment](ProcessId pid) {
+          return deployment.replica_digest(env, pid);
+        });
+  }
+}
+
+void watch_dlog(ScenarioRunner& runner, sim::Env& env,
+                const dlog::DLogDeployment& deployment) {
+  runner.watch_group("dlog", deployment.servers,
+                     [&env, &deployment](ProcessId pid) {
+                       return deployment.server_digest(env, pid);
+                     });
+}
+
+}  // namespace mrp::fault

@@ -1,0 +1,26 @@
+// Bindings between ScenarioRunner and the two services built in this repo,
+// so one call wires all the safety invariants for a deployed system.
+//
+// watch_store / watch_dlog register every replica group of the deployment
+// with the runner, using the deployments' digest entry points
+// (StoreDeployment::replica_digest, DLogDeployment::server_digest) for the
+// convergence check. The deployment object must outlive the runner's run().
+#pragma once
+
+#include "dlog/dlog.hpp"
+#include "fault/runner.hpp"
+#include "mrpstore/store.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::fault {
+
+/// Watches every partition of an MRP-Store deployment: per-partition merge
+/// determinism, delivery monotonicity, and replica-digest convergence.
+void watch_store(ScenarioRunner& runner, sim::Env& env,
+                 const mrpstore::StoreDeployment& deployment);
+
+/// Watches the (single) server group of a dLog deployment.
+void watch_dlog(ScenarioRunner& runner, sim::Env& env,
+                const dlog::DLogDeployment& deployment);
+
+}  // namespace mrp::fault

@@ -1,0 +1,254 @@
+#include "fault/runner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "multiring/node.hpp"
+
+namespace mrp::fault {
+
+namespace {
+
+/// FNV-1a step used to fold sequences and digests into one witness value.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+}
+
+}  // namespace
+
+std::string ScenarioReport::violations_text() const {
+  std::string out;
+  for (const std::string& v : violations) {
+    if (!out.empty()) out += "\n";
+    out += "  - " + v;
+  }
+  return out;
+}
+
+ScenarioRunner::ScenarioRunner(sim::Env& env, FaultPlan plan)
+    : env_(env),
+      last_fault_at_(plan.last_event_time()),
+      injector_(env, std::move(plan)) {}
+
+void ScenarioRunner::watch_group(const std::string& label,
+                                 std::vector<ProcessId> members,
+                                 DigestFn digest) {
+  MRP_CHECK_MSG(!members.empty(), "watch_group with no members");
+  for (ProcessId pid : members) watched_.insert(pid);
+  groups_.push_back(Group{label, std::move(members), std::move(digest)});
+}
+
+void ScenarioRunner::watch_progress(const std::string& label,
+                                    CounterFn counter) {
+  MRP_CHECK(counter != nullptr);
+  progress_.push_back(Progress{label, std::move(counter), 0, false});
+}
+
+void ScenarioRunner::add_invariant(const std::string& name, CheckFn check) {
+  MRP_CHECK(check != nullptr);
+  checks_.emplace_back(name, std::move(check));
+}
+
+void ScenarioRunner::attach(ProcessId pid) {
+  auto* node = env_.process_as<multiring::MultiRingNode>(pid);
+  node->set_delivery_observer(
+      [this, pid](GroupId g, InstanceId i, const Payload&) {
+        observed_[pid][env_.epoch(pid)].emplace_back(g, i);
+        ++deliveries_;
+      });
+}
+
+ScenarioReport ScenarioRunner::run(TimeNs runtime, TimeNs drain) {
+  MRP_CHECK_MSG(!ran_, "ScenarioRunner::run called twice");
+  ran_ = true;
+
+  injector_.set_restart_hook([this](ProcessId pid) {
+    if (watched_.count(pid)) attach(pid);
+    if (user_restart_) user_restart_(pid);
+  });
+  for (const Group& g : groups_) {
+    for (ProcessId pid : g.members) {
+      if (env_.is_alive(pid)) attach(pid);
+    }
+  }
+
+  // Liveness baseline: sample each progress counter just after the last
+  // planned fault (clamped into the workload phase).
+  const TimeNs baseline_at =
+      std::min(last_fault_at_ + 10 * kMillisecond, runtime);
+  env_.sim().schedule_at(baseline_at, [this] {
+    for (Progress& p : progress_) {
+      p.baseline = p.counter();
+      p.sampled = true;
+    }
+  });
+
+  injector_.arm();
+  env_.sim().run_until(runtime);
+  if (quiesce_) quiesce_();
+  env_.sim().run_for(drain);
+
+  ScenarioReport report;
+  report.trace = injector_.trace();
+  report.deliveries = deliveries_;
+  evaluate(report);
+  return report;
+}
+
+void ScenarioRunner::evaluate(ScenarioReport& report) {
+  std::uint64_t witness = 1469598103934665603ULL;  // FNV offset basis
+
+  // Safety 1 — per-incarnation monotonicity: within one (process, epoch),
+  // instances of each group must be strictly increasing (no duplicate and
+  // no out-of-order application-visible delivery).
+  for (const auto& [pid, epochs] : observed_) {
+    for (const auto& [epoch, seq] : epochs) {
+      std::map<GroupId, InstanceId> last;
+      for (const auto& [g, i] : seq) {
+        auto it = last.find(g);
+        if (it != last.end() && i <= it->second) {
+          report.violations.push_back(
+              "p" + std::to_string(pid) + " epoch " + std::to_string(epoch) +
+              ": group " + std::to_string(g) + " delivered instance " +
+              std::to_string(i) + " after " + std::to_string(it->second));
+        }
+        last[g] = i;
+      }
+      mix(witness, static_cast<std::uint64_t>(pid));
+      mix(witness, epoch);
+      for (const auto& [g, i] : seq) {
+        mix(witness, static_cast<std::uint64_t>(g));
+        mix(witness, i);
+      }
+    }
+  }
+
+  for (const Group& group : groups_) {
+    // Safety 2 — merge determinism. Every replica's first incarnation
+    // starts from the same initial state, so all epoch-1 sequences must be
+    // prefixes of one canonical order; recovered incarnations must form a
+    // contiguous subsequence of it (they resume from a checkpoint tuple).
+    const std::vector<std::pair<GroupId, InstanceId>>* ref = nullptr;
+    ProcessId ref_pid = kNoProcess;
+    for (ProcessId pid : group.members) {
+      auto it = observed_.find(pid);
+      if (it == observed_.end()) continue;
+      auto e1 = it->second.find(1);
+      if (e1 == it->second.end()) continue;
+      if (!ref || e1->second.size() > ref->size()) {
+        ref = &e1->second;
+        ref_pid = pid;
+      }
+    }
+    if (ref) {
+      for (ProcessId pid : group.members) {
+        auto it = observed_.find(pid);
+        if (it == observed_.end()) continue;
+        for (const auto& [epoch, seq] : it->second) {
+          if (pid == ref_pid && epoch == 1) continue;
+          if (seq.empty()) continue;
+          if (epoch == 1) {
+            // First incarnations start from the same initial state with the
+            // same (empty) dedup history: strict prefix of the canonical
+            // order.
+            const std::size_t overlap = std::min(seq.size(), ref->size());
+            for (std::size_t k = 0; k < overlap; ++k) {
+              if (seq[k] != (*ref)[k]) {
+                report.violations.push_back(
+                    group.label + ": p" + std::to_string(pid) + " epoch 1" +
+                    " diverged from p" + std::to_string(ref_pid) +
+                    " at merge position " + std::to_string(k) + " (saw g" +
+                    std::to_string(seq[k].first) + "/i" +
+                    std::to_string(seq[k].second) + ", reference g" +
+                    std::to_string((*ref)[k].first) + "/i" +
+                    std::to_string((*ref)[k].second) + ")");
+                break;
+              }
+            }
+            continue;
+          }
+          // Recovered incarnation: it resumes from a checkpoint tuple with
+          // an empty dedup history, so a value re-decided in two instances
+          // can legitimately appear in one stream and be suppressed in the
+          // other. The binding property is on the intersection: every
+          // delivery both streams made must appear in the same relative
+          // order.
+          const std::set<std::pair<GroupId, InstanceId>> ref_set(
+              ref->begin(), ref->end());
+          const std::set<std::pair<GroupId, InstanceId>> seq_set(seq.begin(),
+                                                                 seq.end());
+          std::vector<std::pair<GroupId, InstanceId>> common_seq, common_ref;
+          for (const auto& e : seq) {
+            if (ref_set.count(e)) common_seq.push_back(e);
+          }
+          for (const auto& e : *ref) {
+            if (seq_set.count(e)) common_ref.push_back(e);
+          }
+          for (std::size_t k = 0; k < common_seq.size(); ++k) {
+            if (common_seq[k] != common_ref[k]) {
+              report.violations.push_back(
+                  group.label + ": p" + std::to_string(pid) + " epoch " +
+                  std::to_string(epoch) +
+                  " orders common deliveries differently from p" +
+                  std::to_string(ref_pid) + " (position " +
+                  std::to_string(k) + ": g" +
+                  std::to_string(common_seq[k].first) + "/i" +
+                  std::to_string(common_seq[k].second) + " vs g" +
+                  std::to_string(common_ref[k].first) + "/i" +
+                  std::to_string(common_ref[k].second) + ")");
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // Safety 3 — state convergence: every alive member ends with the same
+    // application-state digest.
+    std::uint64_t d0 = 0;
+    ProcessId p0 = kNoProcess;
+    for (ProcessId pid : group.members) {
+      if (!env_.is_alive(pid)) continue;
+      const std::uint64_t d = group.digest ? group.digest(pid) : 0;
+      mix(witness, d);
+      if (p0 == kNoProcess) {
+        p0 = pid;
+        d0 = d;
+      } else if (d != d0) {
+        report.violations.push_back(group.label + ": p" +
+                                    std::to_string(pid) +
+                                    " state digest diverged from p" +
+                                    std::to_string(p0));
+      }
+    }
+  }
+
+  // Liveness — progress after the last fault.
+  for (const Progress& p : progress_) {
+    if (!p.sampled) {
+      report.violations.push_back("progress '" + p.label +
+                                  "' baseline never sampled");
+      continue;
+    }
+    const std::uint64_t final_count = p.counter();
+    mix(witness, final_count);
+    if (final_count <= p.baseline) {
+      report.violations.push_back(
+          "progress '" + p.label + "' stalled after the last fault (" +
+          std::to_string(p.baseline) + " -> " + std::to_string(final_count) +
+          ")");
+    }
+  }
+
+  // Scenario-specific invariants.
+  for (const auto& [name, check] : checks_) {
+    if (auto violation = check()) {
+      report.violations.push_back(name + ": " + *violation);
+    }
+  }
+
+  report.state_digest = witness;
+}
+
+}  // namespace mrp::fault

@@ -1,0 +1,130 @@
+// ScenarioRunner — executes a FaultPlan against a deployed system and
+// checks the paper's correctness properties around it.
+//
+// A scenario is: a deployment (MRP-Store, dLog, or raw multi-ring nodes), a
+// workload driving it, a FaultPlan, and a set of invariants. The runner
+//   * attaches delivery observers to every watched replica (re-attaching
+//     after each injected restart) and records the merged delivery sequence
+//     per (process, process-epoch),
+//   * arms the injector, runs the workload phase, quiesces the workload,
+//     then runs a fault-free drain so the system can re-converge,
+//   * evaluates safety — per-replica delivery monotonicity (no duplicate,
+//     no out-of-order delivery), cross-replica merge determinism (all
+//     sequences are prefixes / contiguous subsequences of one canonical
+//     order), and state-digest convergence of every alive replica group —
+//   * evaluates liveness — registered progress counters must strictly
+//     increase after the plan's last fault event — plus any scenario-
+//     specific invariants (e.g. no acked write lost).
+//
+// The returned report carries the injector trace and a combined state
+// digest; running the same scenario twice with the same seed must produce
+// identical reports, which is how the chaos tests pin determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::fault {
+
+/// Outcome of one scenario execution.
+struct ScenarioReport {
+  std::vector<std::string> trace;       ///< faults applied (or skipped)
+  std::vector<std::string> violations;  ///< empty = every invariant held
+  /// Order-sensitive digest over every observed delivery sequence and every
+  /// watched replica's final state digest — the determinism witness.
+  std::uint64_t state_digest = 0;
+  std::uint64_t deliveries = 0;  ///< total observed merged deliveries
+
+  bool ok() const { return violations.empty(); }
+  /// Violations joined for gtest failure messages.
+  std::string violations_text() const;
+};
+
+class ScenarioRunner {
+ public:
+  using DigestFn = std::function<std::uint64_t(ProcessId)>;
+  using CounterFn = std::function<std::uint64_t()>;
+  /// Returns a violation description, or nullopt if the invariant holds.
+  using CheckFn = std::function<std::optional<std::string>()>;
+
+  /// Plan event times are absolute simulation times; construct the runner
+  /// (and call run()) before the first planned event.
+  ScenarioRunner(sim::Env& env, FaultPlan plan);
+
+  /// Watches one replica group (same-partition replicas): members must
+  /// deliver monotone, merge-identical sequences and converge to equal
+  /// state digests by the end of the drain. `digest` maps a member to its
+  /// application-state digest (see StoreDeployment::replica_digest /
+  /// DLogDeployment::server_digest).
+  void watch_group(const std::string& label, std::vector<ProcessId> members,
+                   DigestFn digest);
+
+  /// Liveness probe: `counter` (e.g. client completions) must strictly
+  /// increase between just after the plan's last fault event and the end of
+  /// the run — "delivery resumes after heal/restart".
+  void watch_progress(const std::string& label, CounterFn counter);
+
+  /// Scenario-specific invariant evaluated after the drain.
+  void add_invariant(const std::string& name, CheckFn check);
+
+  /// Called once when the workload phase ends (before the drain); stop
+  /// clients here.
+  void set_quiesce(std::function<void()> fn) { quiesce_ = std::move(fn); }
+
+  /// Extra per-restart hook (the runner always re-attaches its own
+  /// observers first).
+  void set_restart_hook(FaultInjector::RestartHookFn fn) {
+    user_restart_ = std::move(fn);
+  }
+
+  /// Arms the injector, runs the workload phase until absolute time
+  /// `runtime`, quiesces, runs `drain` longer, then evaluates all
+  /// invariants. Call exactly once.
+  ScenarioReport run(TimeNs runtime, TimeNs drain);
+
+ private:
+  struct Group {
+    std::string label;
+    std::vector<ProcessId> members;
+    DigestFn digest;
+  };
+  struct Progress {
+    std::string label;
+    CounterFn counter;
+    std::uint64_t baseline = 0;
+    bool sampled = false;
+  };
+  /// Delivery sequence observed from one process, split by process epoch
+  /// (epoch bumps on crash and on recover; odd = alive incarnations).
+  using EpochSeqs =
+      std::map<std::uint64_t, std::vector<std::pair<GroupId, InstanceId>>>;
+
+  void attach(ProcessId pid);
+  void evaluate(ScenarioReport& report);
+
+  sim::Env& env_;
+  TimeNs last_fault_at_;
+  FaultInjector injector_;
+  FaultInjector::RestartHookFn user_restart_;
+  std::function<void()> quiesce_;
+  std::vector<Group> groups_;
+  std::set<ProcessId> watched_;
+  std::vector<Progress> progress_;
+  std::vector<std::pair<std::string, CheckFn>> checks_;
+  std::map<ProcessId, EpochSeqs> observed_;
+  std::uint64_t deliveries_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace mrp::fault

@@ -175,6 +175,18 @@ std::vector<ProcessId> StoreDeployment::all_replicas() const {
   return out;
 }
 
+std::uint64_t StoreDeployment::replica_digest(sim::Env& env,
+                                              ProcessId pid) const {
+  auto* rep = env.process_as<smr::ReplicaNode>(pid);
+  return dynamic_cast<const KvStateMachine&>(rep->state_machine()).digest();
+}
+
+std::optional<Bytes> StoreDeployment::replica_get(
+    sim::Env& env, ProcessId pid, const std::string& key) const {
+  auto* rep = env.process_as<smr::ReplicaNode>(pid);
+  return dynamic_cast<const KvStateMachine&>(rep->state_machine()).get(key);
+}
+
 StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
                             const StoreOptions& options) {
   MRP_CHECK(options.partitions >= 1);

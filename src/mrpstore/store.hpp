@@ -104,6 +104,17 @@ struct StoreDeployment {
   std::shared_ptr<Partitioner> partitioner;
 
   std::vector<ProcessId> all_replicas() const;
+
+  /// Order-sensitive digest of the replica's full KV state — the
+  /// convergence probe used by chaos scenarios (fault::watch_store) and
+  /// tests: replicas of one partition must agree once the run drains.
+  /// `pid` must be an alive replica of this deployment.
+  std::uint64_t replica_digest(sim::Env& env, ProcessId pid) const;
+
+  /// Value of `key` at one replica, bypassing consensus (durability probes:
+  /// an acked write must be readable at every alive replica).
+  std::optional<Bytes> replica_get(sim::Env& env, ProcessId pid,
+                                   const std::string& key) const;
 };
 
 /// Creates rings and replica processes for a full MRP-Store deployment.

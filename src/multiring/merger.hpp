@@ -51,7 +51,9 @@ class DeterministicMerger {
   /// Pauses application delivery (decisions buffer); used while a replica
   /// writes a checkpoint synchronously.
   void pause();
+  /// Restarts delivery and drains whatever buffered while paused.
   void resume();
+  /// True while delivery is paused.
   bool paused() const { return paused_; }
 
   /// Checkpoint tuple: next instance of each group not yet merged.
@@ -62,13 +64,19 @@ class DeterministicMerger {
   /// Buffered decisions below the new cursors are discarded.
   void install_tuple(const storage::CheckpointTuple& t);
 
+  /// True exactly between merge rounds (checkpoints are taken only here, so
+  /// same-partition tuples are totally ordered — Predicate 1, Section 5.2).
   bool at_round_boundary() const {
     return cursor_ == 0 && consumed_ == 0;
   }
 
+  /// Subscribed groups in merge (ascending group-id) order.
   const std::vector<GroupId>& groups() const { return groups_; }
+  /// The merge window M: consensus instances taken per group per turn.
   std::uint32_t m() const { return m_; }
+  /// Application-visible deliveries so far (skips excluded).
   std::uint64_t delivered() const { return delivered_; }
+  /// Instances consumed silently from skip ranges (rate leveling) so far.
   std::uint64_t skipped_instances() const { return skipped_; }
 
   /// Group the merger is currently waiting on (diagnostics).

@@ -93,6 +93,7 @@ void MultiRingNode::deliver_merged(GroupId group, InstanceId instance,
     delivered_ids_.erase(delivered_order_.front());
     delivered_order_.pop_front();
   }
+  if (observer_) observer_(group, instance, v.payload);
   if (app_deliver_) app_deliver_(group, instance, v.payload);
 }
 

@@ -51,17 +51,38 @@ class MultiRingNode : public sim::Process {
   MultiRingNode(sim::Env& env, ProcessId id, coord::Registry* registry,
                 NodeConfig config);
 
+  /// Installs the application's merged-delivery callback (services and
+  /// subclasses own this slot; harnesses use set_delivery_observer).
   void set_deliver(AppDeliverFn fn) { app_deliver_ = std::move(fn); }
+
+  /// Instrumentation hook: invoked for every app-visible merged delivery
+  /// (after duplicate suppression), in addition to the set_deliver callback.
+  /// Subclasses own set_deliver for their service logic; the observer slot
+  /// is reserved for harnesses (the fault layer records delivery sequences
+  /// here to check merge determinism without disturbing the node's wiring).
+  /// The observer dies with the process on crash — re-attach after recover().
+  using DeliveryObserverFn =
+      std::function<void(GroupId group, InstanceId instance, const Payload&)>;
+  void set_delivery_observer(DeliveryObserverFn fn) {
+    observer_ = std::move(fn);
+  }
 
   /// Atomic multicast: propose `payload` to `group` (must be a joined ring).
   ValueId multicast(GroupId group, Payload payload);
 
+  /// The coordination service this node watches.
   coord::Registry& registry() { return *registry_; }
+  /// The node's (crash-surviving, copyable) configuration.
   const NodeConfig& config() const { return config_; }
+  /// This node's handler for `group`, or null if it has not joined the ring.
   ringpaxos::RingHandler* handler(GroupId group);
+  /// The deterministic merger, or null if the node subscribes to no group.
   DeterministicMerger* merger() { return merger_.get(); }
+  /// Groups this node delivers, sorted ascending (the merge order basis).
   std::vector<GroupId> subscribed_groups() const;
 
+  /// Demultiplexes ring traffic by ring id, registry view changes to the
+  /// matching handler, and everything else to on_app_message.
   void on_message(ProcessId from, const sim::Message& m) final;
 
  protected:
@@ -82,6 +103,7 @@ class MultiRingNode : public sim::Process {
   std::map<GroupId, std::unique_ptr<ringpaxos::RingHandler>> handlers_;
   std::unique_ptr<DeterministicMerger> merger_;
   AppDeliverFn app_deliver_;
+  DeliveryObserverFn observer_;
 
   // Exactly-once delivery: a value re-proposed across a coordinator change
   // can be decided in two instances; the duplicate is suppressed here (all

@@ -185,8 +185,11 @@ class RingHandler {
   TimeNs last_progress_ = 0;
   bool retransmit_inflight_ = false;
 
-  // Proposer state.
-  std::uint64_t next_seq_ = 0;
+  // Proposer state. The value-id sequence lives in the Env's crash-surviving
+  // stable storage: ValueId uniqueness must hold across process restarts, or
+  // a recovered proposer's fresh values would collide with its pre-crash ids
+  // and be suppressed as duplicates by every learner that saw the originals.
+  std::uint64_t* next_seq_ = nullptr;
   std::unordered_map<ValueId, OwnProposal, ValueIdHash> own_proposals_;
 
   CoordinatorState coord_;

@@ -29,6 +29,9 @@ RingHandler::RingHandler(sim::Process& host, coord::Registry& registry,
     log_ = std::make_unique<storage::AcceptorLog>(
         host_.env(), host_.id(), ring_, params_.write_mode, params_.disk_index);
   }
+  next_seq_ = &host_.env().stable<std::uint64_t>(
+      host_.id(), "ringpaxos/" + std::to_string(ring_) + "/next_seq");
+
   // Read the cached view synchronously (ZK client cache); watch for changes.
   view_ = registry_.current_view(ring_);
   registry_.watch_ring(ring_, host_.id());
@@ -67,7 +70,9 @@ void RingHandler::forward(sim::MessagePtr m) {
   host_.send(next, std::move(m));
 }
 
-ValueId RingHandler::next_value_id() { return ValueId{host_.id(), ++next_seq_}; }
+ValueId RingHandler::next_value_id() {
+  return ValueId{host_.id(), ++*next_seq_};
+}
 
 ValueId RingHandler::propose(Payload payload) {
   paxos::Value v;

@@ -12,9 +12,10 @@ Disk::Disk(Simulator& sim, DiskParams params) : sim_(sim), params_(params) {
 }
 
 TimeNs Disk::service_time(std::size_t bytes) const {
-  return params_.op_latency +
-         static_cast<TimeNs>(static_cast<double>(bytes) /
-                             params_.bandwidth_Bps * 1e9);
+  const TimeNs nominal =
+      params_.op_latency + static_cast<TimeNs>(static_cast<double>(bytes) /
+                                               params_.bandwidth_Bps * 1e9);
+  return static_cast<TimeNs>(static_cast<double>(nominal) * slowdown_);
 }
 
 void Disk::write(std::size_t bytes, std::function<void()> done) {
@@ -31,5 +32,16 @@ TimeNs Disk::write_completion_time(std::size_t bytes) const {
 }
 
 TimeNs Disk::backlog() const { return std::max<TimeNs>(0, free_at_ - sim_.now()); }
+
+void Disk::stall(TimeNs duration) {
+  MRP_CHECK(duration >= 0);
+  free_at_ = std::max(sim_.now(), free_at_) + duration;
+  ++stalls_;
+}
+
+void Disk::set_slowdown(double factor) {
+  MRP_CHECK(factor > 0);
+  slowdown_ = factor;
+}
 
 }  // namespace mrp::sim

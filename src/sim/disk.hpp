@@ -43,8 +43,26 @@ class Disk {
   /// Current device queue backlog (time until an op issued now starts).
   TimeNs backlog() const;
 
+  // --- fault injection ---
+
+  /// Freezes the device for `duration` starting now: queued and future
+  /// writes complete only after the stall window (plus any backlog) has
+  /// passed. Models a controller hiccup / blocked device queue.
+  void stall(TimeNs duration);
+
+  /// Multiplies the service time (seek + transfer) of subsequent writes by
+  /// `factor` (> 1 = degraded device, 1 = nominal). Already-queued writes
+  /// are unaffected.
+  void set_slowdown(double factor);
+
+  /// Write operations issued so far.
   std::uint64_t writes() const { return writes_; }
+  /// Bytes written so far.
   std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Stall windows injected so far.
+  std::uint64_t stalls() const { return stalls_; }
+  /// Current service-time multiplier (1.0 = nominal).
+  double slowdown() const { return slowdown_; }
   const DiskParams& params() const { return params_; }
 
  private:
@@ -53,8 +71,10 @@ class Disk {
   Simulator& sim_;
   DiskParams params_;
   TimeNs free_at_ = 0;
+  double slowdown_ = 1.0;
   std::uint64_t writes_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t stalls_ = 0;
 };
 
 }  // namespace mrp::sim

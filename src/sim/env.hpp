@@ -34,11 +34,16 @@ struct CpuParams {
 
 class Env {
  public:
+  /// `seed` flows to the Simulator and roots all randomness of the run.
   explicit Env(std::uint64_t seed = 1);
 
+  /// The event loop.
   Simulator& sim() { return sim_; }
+  /// The simulated network (links, sites, partitions, injected faults).
   Network& net() { return net_; }
+  /// Current simulated time.
   TimeNs now() const { return sim_.now(); }
+  /// The run's root random stream.
   Rng& rng() { return sim_.rng(); }
 
   using ProcessFactory =
@@ -63,7 +68,9 @@ class Env {
         }));
   }
 
+  /// The live instance for `id` (null while crashed).
   Process* process(ProcessId id);
+  /// The live instance downcast to T; aborts on type mismatch.
   template <class T>
   T* process_as(ProcessId id) {
     auto* p = dynamic_cast<T*>(process(id));
@@ -71,8 +78,13 @@ class Env {
     return p;
   }
 
+  /// True while the process is up (between add_process/recover and crash).
   bool is_alive(ProcessId id) const;
+  /// Incarnation counter: starts at 1, +1 on every crash and every recover
+  /// (odd = alive). Guards (make_guard) and the fault layer's delivery
+  /// observers use it to tell incarnations apart.
   std::uint64_t epoch(ProcessId id) const;
+  /// Ids of every registered process, crashed or not.
   std::vector<ProcessId> all_processes() const;
 
   /// Crashes a process: volatile state destroyed, queued messages dropped,
@@ -83,13 +95,20 @@ class Env {
   void recover(ProcessId id);
 
   // --- CPU model & accounting ---
+  /// Installs the per-message/per-byte CPU cost model for one process.
   void set_cpu(ProcessId id, CpuParams p);
+  /// Accumulated message-handling CPU time.
   TimeNs cpu_busy(ProcessId id) const;
+  /// Accumulated background-lane CPU time (GC, flushers).
   TimeNs cpu_background(ProcessId id) const;
+  /// Zeroes both counters for every process (benches call this after warmup).
   void reset_cpu_accounting();
 
   // --- disks (survive crashes) ---
+  /// The process's disk `index`, created on first use (in-memory params).
   Disk& disk(ProcessId id, int index = 0);
+  /// Replaces the device with fresh parameters (resets queue + statistics);
+  /// call at deployment setup time.
   void set_disk_params(ProcessId id, int index, DiskParams p);
 
   // --- stable storage (survives crashes) ---
@@ -106,10 +125,17 @@ class Env {
   }
 
   // --- used by Process ---
+  /// Sends m from `from` to `to` (loopback skips the network but still
+  /// queues through the receiver's CPU lane). Negative `from` ids mark
+  /// oracle senders (the registry) whose traffic bypasses injected faults.
   void send_from(ProcessId from, ProcessId to, MessagePtr m);
+  /// Timer that silently cancels if the process crashes (epoch changes).
   void schedule_guarded(ProcessId pid, TimeNs delay, std::function<void()> fn);
+  /// Wraps fn into a callback that no-ops once the process's epoch moves on.
   std::function<void()> make_guard(ProcessId pid, std::function<void()> fn);
+  /// Adds CPU cost to pid's serial message-handling lane.
   void charge(ProcessId pid, TimeNs cpu);
+  /// Adds CPU cost on pid's background lane (metrics only).
   void charge_background(ProcessId pid, TimeNs cpu);
 
  private:

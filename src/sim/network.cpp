@@ -61,6 +61,14 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
       partitioned_.find(pair_key(std::min(from, to), std::max(from, to)));
   if (part != partitioned_.end() && part->second) return;  // dropped
 
+  // Oracle senders (negative ids, e.g. the registry) model an always-reliable
+  // coordination service: isolation and chaos do not apply to them.
+  const bool oracle = from < 0;
+  if (!oracle && (isolated_.count(from) || isolated_.count(to))) {
+    ++faults_dropped_;
+    return;
+  }
+
   const LinkParams link = resolve(from, to);
   LinkState& state = links_[pair_key(from, to)];
 
@@ -76,6 +84,33 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
   ++messages_sent_;
   bytes_sent_ += size;
 
+  if (!oracle && fault_.active()) {
+    // The FIFO clamp and bandwidth point were already advanced above: a
+    // chaotic message still occupied the wire, it just never (or twice, or
+    // late) reaches the receiver.
+    if (fault_.drop_p > 0 && sim_.rng().next_double() < fault_.drop_p) {
+      ++faults_dropped_;
+      return;
+    }
+    if (fault_.extra_delay_max > 0) {
+      const TimeNs extra = sim_.rng().next_range(0, fault_.extra_delay_max);
+      if (extra > 0) {
+        ++faults_delayed_;
+        arrive += extra;  // past the FIFO point: later sends may overtake
+      }
+    }
+    if (fault_.dup_p > 0 && sim_.rng().next_double() < fault_.dup_p) {
+      ++faults_duplicated_;
+      TimeNs dup_arrive = arrive;
+      if (fault_.extra_delay_max > 0) {
+        dup_arrive += sim_.rng().next_range(0, fault_.extra_delay_max);
+      }
+      sim_.schedule_at(dup_arrive, [this, from, to, m = msg]() mutable {
+        deliver_(from, to, std::move(m));
+      });
+    }
+  }
+
   sim_.schedule_at(arrive, [this, from, to, m = std::move(msg)]() mutable {
     deliver_(from, to, std::move(m));
   });
@@ -83,6 +118,14 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
 
 void Network::set_partitioned(ProcessId a, ProcessId b, bool partitioned) {
   partitioned_[pair_key(std::min(a, b), std::max(a, b))] = partitioned;
+}
+
+void Network::set_isolated(ProcessId p, bool isolated) {
+  if (isolated) {
+    isolated_.insert(p);
+  } else {
+    isolated_.erase(p);
+  }
 }
 
 }  // namespace mrp::sim

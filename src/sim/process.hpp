@@ -26,6 +26,7 @@ class Process {
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
 
+  /// This process's deployment-wide identifier.
   ProcessId id() const { return id_; }
 
   /// Called once after construction (both initial start and recovery).
@@ -38,6 +39,8 @@ class Process {
 
   // --- services available to subclasses (public so harnesses can drive) ---
 
+  /// Sends m over the simulated network (delivered after link delay; dropped
+  /// if the receiver is down, partitioned away, or eaten by injected faults).
   void send(ProcessId to, MessagePtr m);
 
   /// One-shot timer; cancelled implicitly if this process crashes first.
@@ -57,8 +60,11 @@ class Process {
   /// but not serializing the message-handling lane), e.g. GC, flusher.
   void charge_background(TimeNs cpu);
 
+  /// Current simulated time.
   TimeNs now() const;
+  /// The owning environment.
   Env& env() { return env_; }
+  /// The run's root random stream (shared; draws are event-order stable).
   Rng& rng();
 
  private:

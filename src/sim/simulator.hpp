@@ -19,12 +19,18 @@ namespace mrp::sim {
 
 class Simulator {
  public:
+  /// `seed` roots every random draw of the run (network chaos, workloads,
+  /// forked per-process Rngs): one seed, one execution.
   explicit Simulator(std::uint64_t seed = 1);
 
+  /// Current simulated time (ns since the start of the run).
   TimeNs now() const { return now_; }
+  /// The run's root random stream.
   Rng& rng() { return rng_; }
 
+  /// Schedules fn at absolute time `when` (must be >= now()).
   void schedule_at(TimeNs when, std::function<void()> fn);
+  /// Schedules fn `delay` after now().
   void schedule_after(TimeNs delay, std::function<void()> fn);
 
   /// Runs the next event. Returns false if the queue is empty.
@@ -38,7 +44,9 @@ class Simulator {
   /// livelock in tests). Returns the number of events executed.
   std::size_t run_until_idle(std::size_t max_events = 50'000'000);
 
+  /// Events currently queued.
   std::size_t pending_events() const { return queue_.size(); }
+  /// Events executed since construction.
   std::uint64_t executed_events() const { return executed_; }
 
  private:

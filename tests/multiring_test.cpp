@@ -97,6 +97,109 @@ TEST(Merger, SkipRangeSpillsAcrossWindows) {
   EXPECT_EQ(m.skipped_instances(), 3u);
 }
 
+TEST(Merger, DuplicateValueRedeliveryIsIgnored) {
+  // Recovery replays (retransmission after a checkpoint install) can hand
+  // the merger decisions it has already merged; they must be no-ops.
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId, const paxos::Value& v) {
+    out.push_back(std::to_string(g) + ":" + v.payload.as_string());
+  });
+  m.on_decision(1, 0, val("a"));
+  m.on_decision(2, 0, val("x"));
+  m.on_decision(1, 0, val("a"));  // duplicate redelivery
+  m.on_decision(2, 0, val("x"));  // duplicate redelivery
+  m.on_decision(1, 1, val("b"));
+  m.on_decision(2, 1, val("y"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1:a", "2:x", "1:b", "2:y"}));
+}
+
+TEST(Merger, DuplicateSkipRangeRedeliveryIsIgnored) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId, const paxos::Value& v) {
+    out.push_back(std::to_string(g) + ":" + v.payload.as_string());
+  });
+  m.on_decision(1, 0, paxos::Value::skip({1, 1}, 3));  // covers 0..2
+  m.on_decision(2, 0, val("x"));
+  m.on_decision(2, 1, val("y"));
+  m.on_decision(2, 2, val("z"));
+  ASSERT_EQ(m.skipped_instances(), 3u);
+  m.on_decision(1, 0, paxos::Value::skip({1, 1}, 3));  // full duplicate
+  EXPECT_EQ(m.skipped_instances(), 3u) << "duplicate skip consumed quota twice";
+  m.on_decision(1, 3, val("a"));
+  m.on_decision(2, 3, val("w"));
+  EXPECT_EQ(out, (std::vector<std::string>{"2:x", "2:y", "2:z", "1:a", "2:w"}));
+}
+
+TEST(Merger, SkipRangeStraddlingInstalledTupleConsumesOnlySuffix) {
+  // A recovering replica installs a checkpoint tuple that lands inside a
+  // skip range: the prefix below the tuple is already reflected in the
+  // checkpoint, only the suffix may consume merge quota.
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  m.install_tuple(storage::CheckpointTuple{{1, 3}, {2, 2}});
+  m.on_decision(1, 0, paxos::Value::skip({1, 1}, 5));  // 0..4; 3..4 remain
+  m.on_decision(1, 5, val("a"));
+  m.on_decision(2, 2, val("x"));
+  m.on_decision(2, 3, val("y"));
+  m.on_decision(2, 4, val("z"));
+  // Only instances 3 and 4 of the range consume quota (one per M=1 turn):
+  // g1 skips 3, g2 delivers 2; g1 skips 4, g2 delivers 3; then 1@5, 2@4.
+  EXPECT_EQ(m.skipped_instances(), 2u);
+  EXPECT_EQ(out, (std::vector<std::string>{"2@2", "2@3", "1@5", "2@4"}));
+}
+
+TEST(Merger, RedeliveryBelowInstalledTupleIsDiscarded) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(i));
+  });
+  m.install_tuple(storage::CheckpointTuple{{1, 5}, {2, 0}});
+  m.on_decision(1, 4, val("old"));  // fully below the tuple
+  m.on_decision(1, 5, val("a"));
+  m.on_decision(2, 0, val("x"));
+  EXPECT_EQ(out, (std::vector<std::string>{"5", "0"}));
+}
+
+TEST(Merger, CrossGroupArrivalOrderDoesNotChangeMergeOrder) {
+  // The same per-group streams fed in two different cross-group
+  // interleavings (group-2-first vs alternating) must merge identically —
+  // including a skip range that reorders around real values.
+  auto run = [](bool group2_first) {
+    std::vector<std::string> out;
+    DeterministicMerger m({1, 2}, 2,
+                          [&](GroupId g, InstanceId i, const paxos::Value&) {
+                            out.push_back(std::to_string(g) + "@" +
+                                          std::to_string(i));
+                          });
+    auto feed1 = [&](int step) {
+      switch (step) {
+        case 0: m.on_decision(1, 0, val("a")); break;
+        case 1: m.on_decision(1, 1, paxos::Value::skip({1, 1}, 3)); break;
+        case 2: m.on_decision(1, 4, val("b")); break;
+      }
+    };
+    auto feed2 = [&](int step) {
+      m.on_decision(2, static_cast<InstanceId>(step),
+                    val("x" + std::to_string(step)));
+    };
+    if (group2_first) {
+      for (int s = 0; s < 3; ++s) feed2(s);
+      for (int s = 0; s < 3; ++s) feed1(s);
+    } else {
+      for (int s = 0; s < 3; ++s) {
+        feed1(s);
+        feed2(s);
+      }
+    }
+    return out;
+  };
+  const auto a = run(true);
+  const auto b = run(false);
+  EXPECT_EQ(a, b) << "merge order depends on cross-group arrival order";
+}
+
 TEST(Merger, TupleReflectsMergedPrefix) {
   DeterministicMerger m({1, 2}, 1, [](GroupId, InstanceId, const paxos::Value&) {});
   m.on_decision(1, 0, val("a"));

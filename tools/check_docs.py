@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Documentation drift checks, run by the CI docs job.
+
+1. Markdown link check: every relative link in a tracked *.md file must
+   point at an existing file or directory (external http(s)/mailto links
+   and pure #anchors are skipped — no network access needed).
+2. Repo-map check: the README repository map and ARCHITECTURE.md must
+   mention every subdirectory of src/ — adding a module without
+   documenting it fails CI.
+
+Exits non-zero with one line per problem.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images is unnecessary; they must exist too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links(problems):
+    for path in markdown_files():
+        base = os.path.dirname(path)
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        # Ignore links inside fenced code blocks (diagrams, examples).
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}: broken link -> {match.group(1)}")
+
+
+def check_repo_map(problems):
+    src = os.path.join(REPO, "src")
+    modules = sorted(
+        d for d in os.listdir(src) if os.path.isdir(os.path.join(src, d))
+    )
+    for doc in ("README.md", "ARCHITECTURE.md"):
+        path = os.path.join(REPO, doc)
+        if not os.path.exists(path):
+            problems.append(f"{doc}: missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for module in modules:
+            # The repo map lists modules as "name/"; prose may say
+            # `src/name/`. Word-boundary match so "paxos/" does not
+            # false-pass on "ringpaxos/".
+            if not re.search(
+                rf"(?<![A-Za-z0-9_]){re.escape(module)}/", text
+            ):
+                problems.append(
+                    f"{doc}: src/{module}/ not documented (repo-map drift)"
+                )
+
+
+def main():
+    problems = []
+    check_links(problems)
+    check_repo_map(problems)
+    for p in problems:
+        print(f"error: {p}")
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs ok: links resolve, repo map covers every src/ module")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
