@@ -8,6 +8,7 @@
 // paper's 2014 testbed. EXPERIMENTS.md records both.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +94,13 @@ inline void print_header(const std::string& title) {
 // numeric metrics plus a latency block (count, mean/min/max, p50/p99 and a
 // decimated CDF) derived from a Histogram. EXPERIMENTS.md documents the
 // schema and per-figure run instructions.
+//
+// Engine-speed accounting: every report also carries `wall_seconds` (real
+// time between reporter construction and write), `sim_events` (simulator
+// events executed process-wide in that span, via
+// sim::Simulator::process_executed_events — no per-Env plumbing), and
+// `events_per_second`, the wall-clock engine speed. Compare these across
+// builds on one machine; simulated metrics are machine-independent.
 
 namespace detail {
 
@@ -193,7 +201,10 @@ class BenchReporter {
     std::vector<std::pair<double, double>> cdf_;
   };
 
-  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  explicit BenchReporter(std::string name)
+      : name_(std::move(name)),
+        wall_start_(std::chrono::steady_clock::now()),
+        events_start_(sim::Simulator::process_executed_events()) {}
 
   BenchReporter(const BenchReporter&) = delete;
   BenchReporter& operator=(const BenchReporter&) = delete;
@@ -201,6 +212,8 @@ class BenchReporter {
   BenchReporter(BenchReporter&& other) noexcept
       : name_(std::move(other.name_)),
         config_(std::move(other.config_)),
+        wall_start_(other.wall_start_),
+        events_start_(other.events_start_),
         rows_(std::move(other.rows_)),
         written_(other.written_) {
     other.written_ = true;  // the moved-from shell must not write on destroy
@@ -241,9 +254,21 @@ class BenchReporter {
   }
 
   std::string json() const {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start_)
+                            .count();
+    const std::uint64_t events =
+        sim::Simulator::process_executed_events() - events_start_;
     std::string out = "{\n  \"bench\": \"";
     detail::append_json_escaped(out, name_);
-    out += "\",\n  \"schema_version\": 1,\n  \"config\": ";
+    out += "\",\n  \"schema_version\": 2,\n  \"wall_seconds\": ";
+    detail::append_json_number(out, wall);
+    out += ",\n  \"sim_events\": ";
+    detail::append_json_number(out, static_cast<double>(events));
+    out += ",\n  \"events_per_second\": ";
+    detail::append_json_number(
+        out, wall > 0 ? static_cast<double>(events) / wall : 0.0);
+    out += ",\n  \"config\": ";
     append_fields(out, config_, "  ");
     out += ",\n  \"rows\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -333,6 +358,8 @@ class BenchReporter {
 
   std::string name_;
   Fields config_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t events_start_ = 0;
   // deque: row() hands out references that must survive later row() calls.
   std::deque<Row> rows_;
   bool written_ = false;

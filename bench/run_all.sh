@@ -5,18 +5,24 @@
 # Usage: bench/run_all.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
 #   OUT_DIR    where JSON + logs land (default: bench_results)
+#   MRP_BENCH_ONLY  optional space-separated subset to run (e.g. the CI
+#                   perf smoke runs "micro_sim ablation_multiring")
 #
 # Only benches present in BUILD_DIR are run (micro_protocol is skipped when
 # Google Benchmark was unavailable at configure time). Fail-fast: exits
 # non-zero if any bench dies, produces no JSON, or produces JSON that does
-# not parse — a partial run can never look like a clean one.
+# not parse or lacks the engine-speed fields (wall_seconds / sim_events /
+# events_per_second) — a partial run can never look like a clean one.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_results}"
-BENCHES=(fig3_baseline fig4_ycsb fig5_dlog_bookkeeper fig6_vertical
+BENCHES=(micro_sim fig3_baseline fig4_ycsb fig5_dlog_bookkeeper fig6_vertical
          fig7_horizontal fig8_recovery fig8b_chaos ablation_multiring
          micro_protocol)
+if [[ -n "${MRP_BENCH_ONLY:-}" ]]; then
+  read -r -a BENCHES <<< "$MRP_BENCH_ONLY"
+fi
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — configure and build first:" >&2
@@ -45,8 +51,15 @@ for bench in "${BENCHES[@]}"; do
     failures=$((failures + 1))
     continue
   fi
-  if ! python3 -m json.tool "$OUT_DIR/BENCH_$bench.json" > /dev/null 2>&1; then
-    echo "    FAILED: BENCH_$bench.json is not valid JSON"
+  if ! python3 - "$OUT_DIR/BENCH_$bench.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("wall_seconds", "sim_events", "events_per_second"):
+    assert key in doc, f"missing {key}"
+    assert isinstance(doc[key], (int, float)), f"non-numeric {key}"
+PYEOF
+  then
+    echo "    FAILED: BENCH_$bench.json invalid or missing engine-speed fields"
     failures=$((failures + 1))
     continue
   fi

@@ -29,7 +29,7 @@ void Writer::bytes(const Bytes& b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
-void Writer::str(const std::string& s) {
+void Writer::str(std::string_view s) {
   varint(s.size());
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
@@ -40,7 +40,7 @@ void Writer::raw(const void* data, std::size_t n) {
 }
 
 void Reader::need(std::size_t n) const {
-  if (data_.size() - pos_ < n) throw CodecError("truncated input");
+  if (size_ - pos_ < n) throw CodecError("truncated input");
 }
 
 std::uint8_t Reader::u8() {
@@ -79,22 +79,31 @@ std::uint64_t Reader::varint() {
   }
 }
 
-Bytes Reader::bytes() {
+std::span<const std::uint8_t> Reader::length_prefixed(const char* what) {
   const std::uint64_t n = varint();
-  if (n > remaining()) throw CodecError("byte string exceeds buffer");
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-  pos_ += n;
+  if (n > remaining()) throw CodecError(what);
+  std::span<const std::uint8_t> out(data_ + pos_, static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
   return out;
 }
 
+std::span<const std::uint8_t> Reader::bytes_view() {
+  return length_prefixed("byte string exceeds buffer");
+}
+
+std::string_view Reader::str_view() {
+  const auto s = length_prefixed("string exceeds buffer");
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+Bytes Reader::bytes() {
+  const auto s = bytes_view();
+  return Bytes(s.begin(), s.end());
+}
+
 std::string Reader::str() {
-  const std::uint64_t n = varint();
-  if (n > remaining()) throw CodecError("string exceeds buffer");
-  std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-  pos_ += n;
-  return out;
+  const auto s = str_view();
+  return std::string(s);
 }
 
 void Reader::expect_done() const {

@@ -5,11 +5,19 @@
 // integers, LEB128 varints, and length-prefixed byte strings. Decoding
 // malformed or truncated input throws CodecError (callers at trust
 // boundaries catch it; internal callers treat it as a bug).
+//
+// Reader is a non-owning view over the caller's buffer: the str_view /
+// bytes_view accessors are zero-copy (they point into that buffer and are
+// valid only while it lives), and the Bytes/std::string accessors copy.
+// Writer keeps its buffer across clear() so one Writer can encode a stream
+// of messages without re-allocating.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -30,8 +38,13 @@ class Writer {
   void i64(std::int64_t v);
   void varint(std::uint64_t v);
   void bytes(const Bytes& b);       // varint length + raw bytes
-  void str(const std::string& s);   // varint length + raw bytes
+  void str(std::string_view s);     // varint length + raw bytes
   void raw(const void* data, std::size_t n);
+
+  /// Pre-sizes the buffer (encoding hot paths know their message size).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  /// Drops the content but keeps the allocation for the next message.
+  void clear() { buf_.clear(); }
 
   const Bytes& buffer() const { return buf_; }
   Bytes take() { return std::move(buf_); }
@@ -43,26 +56,42 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const Bytes& data) : data_(data) {}
+  explicit Reader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  /// A Reader never owns the buffer: constructing one from a temporary
+  /// (e.g. Reader(writer.take())) would dangle immediately.
+  explicit Reader(Bytes&&) = delete;
+  /// View over raw memory owned by the caller.
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   std::uint8_t u8();
   std::uint32_t u32();
   std::uint64_t u64();
   std::int64_t i64();
   std::uint64_t varint();
+
+  // Zero-copy accessors: views into the underlying buffer, valid only
+  // while it lives.
+  std::span<const std::uint8_t> bytes_view();
+  std::string_view str_view();
+
+  // Copying conveniences for decoded fields that outlive the buffer.
   Bytes bytes();
   std::string str();
 
-  bool done() const { return pos_ == data_.size(); }
-  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
   /// Throws unless the whole buffer was consumed (call at end of decode).
   void expect_done() const;
 
  private:
   void need(std::size_t n) const;
+  /// Reads a varint length prefix and returns the span it covers.
+  std::span<const std::uint8_t> length_prefixed(const char* what);
 
-  const Bytes& data_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

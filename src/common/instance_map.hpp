@@ -1,0 +1,213 @@
+// Contiguous map keyed by dense, mostly-monotone instance ids.
+//
+// Consensus instance numbers are allocated contiguously from a moving floor
+// (the delivery watermark / trim point), so the red-black trees previously
+// used for coordinator in-flight state, learner decision buffers, and
+// acceptor logs paid pointer-chasing and per-node allocation for keys that
+// are effectively array indexes. InstanceMap stores the window [first_key,
+// last_key] as a deque of optional slots: O(1) lookup/insert/erase by key,
+// O(1) ordered front access, allocation amortized by the deque's block
+// reuse. Gaps between keys cost one empty slot each, which is exactly the
+// sparseness the protocol produces (a bounded window of undecided or
+// buffered instances).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace mrp {
+
+template <class T>
+class InstanceMap {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  bool contains(InstanceId key) const { return find(key) != nullptr; }
+
+  T* find(InstanceId key) {
+    if (count_ == 0 || key < base_ || key - base_ >= slots_.size()) {
+      return nullptr;
+    }
+    auto& slot = slots_[static_cast<std::size_t>(key - base_)];
+    return slot.has_value() ? &*slot : nullptr;
+  }
+  const T* find(InstanceId key) const {
+    return const_cast<InstanceMap*>(this)->find(key);
+  }
+
+  /// Default-constructs the slot if absent.
+  T& operator[](InstanceId key) {
+    auto& slot = slot_for(key);
+    if (!slot.has_value()) {
+      slot.emplace();
+      ++count_;
+    }
+    return *slot;
+  }
+
+  /// Inserts only if absent; returns whether the value was inserted.
+  bool insert(InstanceId key, T value) {
+    auto& slot = slot_for(key);
+    if (slot.has_value()) return false;
+    slot.emplace(std::move(value));
+    ++count_;
+    return true;
+  }
+
+  void insert_or_assign(InstanceId key, T value) {
+    auto& slot = slot_for(key);
+    if (!slot.has_value()) ++count_;
+    slot.emplace(std::move(value));
+  }
+
+  bool erase(InstanceId key) {
+    if (count_ == 0 || key < base_ || key - base_ >= slots_.size()) {
+      return false;
+    }
+    auto& slot = slots_[static_cast<std::size_t>(key - base_)];
+    if (!slot.has_value()) return false;
+    slot.reset();
+    --count_;
+    shrink();
+    return true;
+  }
+
+  /// Removes every entry with key < floor.
+  void erase_below(InstanceId floor) {
+    while (count_ > 0 && base_ < floor) {
+      if (slots_.front().has_value()) --count_;
+      slots_.pop_front();
+      ++base_;
+    }
+    shrink();
+  }
+
+  void clear() {
+    slots_.clear();
+    count_ = 0;
+  }
+
+  /// Smallest key present. Requires !empty().
+  InstanceId front_key() const {
+    MRP_CHECK(count_ > 0);
+    return base_;
+  }
+  T& front() {
+    MRP_CHECK(count_ > 0);
+    return *slots_.front();
+  }
+  const T& front() const {
+    MRP_CHECK(count_ > 0);
+    return *slots_.front();
+  }
+
+  /// Removes and returns the entry with the smallest key.
+  T pop_front() {
+    MRP_CHECK(count_ > 0);
+    T out = std::move(*slots_.front());
+    slots_.pop_front();
+    ++base_;
+    --count_;
+    shrink();
+    return out;
+  }
+
+  /// Largest key present. Requires !empty().
+  InstanceId back_key() const {
+    MRP_CHECK(count_ > 0);
+    return base_ + slots_.size() - 1;
+  }
+
+  /// Largest key < hi with an entry, or nullptr. `key_out` receives the key.
+  const T* find_last_below(InstanceId hi, InstanceId* key_out) const {
+    if (count_ == 0 || hi <= base_) return nullptr;
+    InstanceId k = std::min(hi - 1, base_ + slots_.size() - 1);
+    for (;; --k) {
+      const auto& slot = slots_[static_cast<std::size_t>(k - base_)];
+      if (slot.has_value()) {
+        *key_out = k;
+        return &*slot;
+      }
+      if (k == base_) return nullptr;
+    }
+  }
+
+  /// fn(InstanceId, T&) over every entry, ascending keys.
+  template <class Fn>
+  void for_each(Fn fn) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) fn(base_ + i, *slots_[i]);
+    }
+  }
+  template <class Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) fn(base_ + i, *slots_[i]);
+    }
+  }
+
+  /// fn(InstanceId, const T&) over entries with lo <= key < hi, ascending.
+  template <class Fn>
+  void for_each_in(InstanceId lo, InstanceId hi, Fn fn) const {
+    if (count_ == 0) return;
+    InstanceId k = lo < base_ ? base_ : lo;
+    const InstanceId end = std::min<InstanceId>(hi, base_ + slots_.size());
+    for (; k < end; ++k) {
+      const auto& slot = slots_[static_cast<std::size_t>(k - base_)];
+      if (slot.has_value()) fn(k, *slot);
+    }
+  }
+
+  /// fn(InstanceId, const T&) over entries with key >= lo, ascending.
+  template <class Fn>
+  void for_each_from(InstanceId lo, Fn fn) const {
+    if (count_ == 0) return;
+    for_each_in(lo, base_ + slots_.size(), fn);
+  }
+
+ private:
+  std::optional<T>& slot_for(InstanceId key) {
+    if (slots_.empty()) {
+      base_ = key;
+      slots_.emplace_back();
+      return slots_.front();
+    }
+    if (key < base_) {
+      const InstanceId gap = base_ - key;
+      MRP_CHECK_MSG(gap < (1ULL << 26), "InstanceMap key far below window");
+      for (InstanceId i = 0; i < gap; ++i) slots_.emplace_front();
+      base_ = key;
+      return slots_.front();
+    }
+    const InstanceId off = key - base_;
+    MRP_CHECK_MSG(off < (1ULL << 26), "InstanceMap key far above window");
+    while (off >= slots_.size()) slots_.emplace_back();
+    return slots_[static_cast<std::size_t>(off)];
+  }
+
+  /// Restores the invariant that the first and last slot are occupied (so
+  /// front/back accessors are O(1) and empty maps hold no slots).
+  void shrink() {
+    if (count_ == 0) {
+      slots_.clear();
+      return;
+    }
+    while (!slots_.front().has_value()) {
+      slots_.pop_front();
+      ++base_;
+    }
+    while (!slots_.back().has_value()) slots_.pop_back();
+  }
+
+  InstanceId base_ = 0;            // key of slots_[0]
+  std::deque<std::optional<T>> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mrp

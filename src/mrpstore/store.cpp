@@ -76,11 +76,16 @@ Result decode_result(const Bytes& data) {
 }
 
 Bytes KvStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
-  const Op op = decode_op(encoded);
+  // Decoded in place (same layout as decode_op): key and value are views
+  // into the multicast payload, which outlives this call; only state the
+  // machine retains (inserted/updated values) is copied.
+  codec::Reader r(encoded);
+  const auto type = static_cast<OpType>(r.u8());
+  const std::string_view key = r.str_view();
   Result res;
-  switch (op.type) {
+  switch (type) {
     case OpType::kRead: {
-      auto it = data_.find(op.key);
+      auto it = data_.find(key);
       if (it == data_.end()) {
         res.status = Status::kNotFound;
       } else {
@@ -89,33 +94,48 @@ Bytes KvStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
       break;
     }
     case OpType::kUpdate: {
-      auto it = data_.find(op.key);
+      const auto value = r.bytes_view();
+      auto it = data_.find(key);
       if (it == data_.end()) {
         res.status = Status::kNotFound;  // update only if existent (Table 1)
       } else {
-        it->second = op.value;
+        it->second.assign(value.begin(), value.end());
       }
       break;
     }
     case OpType::kInsert: {
-      data_[op.key] = op.value;
+      const auto value = r.bytes_view();
+      auto it = data_.find(key);
+      if (it == data_.end()) {
+        data_.emplace(std::string(key), Bytes(value.begin(), value.end()));
+      } else {
+        it->second.assign(value.begin(), value.end());
+      }
       break;
     }
     case OpType::kDelete: {
-      res.status = data_.erase(op.key) ? Status::kOk : Status::kNotFound;
+      auto it = data_.find(key);
+      if (it == data_.end()) {
+        res.status = Status::kNotFound;
+      } else {
+        data_.erase(it);
+      }
       break;
     }
     case OpType::kScan: {
-      auto it = data_.lower_bound(op.key);
-      const std::uint32_t limit = op.limit == 0 ? ~0u : op.limit;
+      const std::string_view key_hi = r.str_view();
+      const std::uint32_t raw_limit = r.u32();
+      const std::uint32_t limit = raw_limit == 0 ? ~0u : raw_limit;
+      auto it = data_.lower_bound(key);
       while (it != data_.end() && res.entries.size() < limit) {
-        if (!op.key_hi.empty() && it->first >= op.key_hi) break;
+        if (!key_hi.empty() && it->first >= key_hi) break;
         res.entries.emplace_back(it->first, it->second);
         ++it;
       }
       break;
     }
   }
+  r.expect_done();
   return encode_result(res);
 }
 

@@ -75,7 +75,9 @@ class KvStateMachine final : public smr::StateMachine {
   std::uint64_t digest() const;
 
  private:
-  std::map<std::string, Bytes> data_;
+  // Transparent comparator: lookups take the decoded key as a
+  // std::string_view straight out of the wire buffer (no allocation).
+  std::map<std::string, Bytes, std::less<>> data_;
 };
 
 // --- deployment ---

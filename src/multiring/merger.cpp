@@ -16,14 +16,19 @@ DeterministicMerger::DeterministicMerger(std::vector<GroupId> groups,
   MRP_CHECK_MSG(
       std::adjacent_find(groups_.begin(), groups_.end()) == groups_.end(),
       "duplicate group subscription");
-  for (GroupId g : groups_) state_[g];
+  state_.resize(groups_.size());
+}
+
+DeterministicMerger::GroupState& DeterministicMerger::state_for(GroupId group) {
+  auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+  MRP_CHECK_MSG(it != groups_.end() && *it == group,
+                "group not subscribed");
+  return state_[static_cast<std::size_t>(it - groups_.begin())];
 }
 
 void DeterministicMerger::on_decision(GroupId group, InstanceId instance,
                                       const paxos::Value& v) {
-  auto it = state_.find(group);
-  MRP_CHECK_MSG(it != state_.end(), "decision for unsubscribed group");
-  GroupState& gs = it->second;
+  GroupState& gs = state_for(group);
   const std::uint64_t span = std::max<std::uint64_t>(1, v.skip_count);
   if (instance + span <= gs.next) return;  // fully merged pre-checkpoint
   if (instance < gs.next) {
@@ -49,7 +54,7 @@ void DeterministicMerger::pump() {
   if (paused_ || pumping_) return;
   pumping_ = true;
   for (;;) {
-    GroupState& gs = state_[groups_[cursor_]];
+    GroupState& gs = state_[cursor_];
     if (gs.queue.empty()) break;  // stalled on this group
     auto& [instance, value] = gs.queue.front();
     const std::uint64_t span = std::max<std::uint64_t>(1, value.skip_count);
@@ -94,12 +99,14 @@ void DeterministicMerger::resume() {
 
 storage::CheckpointTuple DeterministicMerger::tuple() const {
   storage::CheckpointTuple t;
-  for (const auto& [g, gs] : state_) {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
     // The tuple reflects what has been *merged*, not what is buffered:
     // buffered-but-unmerged decisions are replayable from the ring. A
     // partially consumed skip range counts its consumed prefix as merged.
-    t[g] = gs.queue.empty() ? gs.next
-                            : gs.queue.front().first + gs.front_consumed;
+    const GroupState& gs = state_[i];
+    t[groups_[i]] = gs.queue.empty()
+                        ? gs.next
+                        : gs.queue.front().first + gs.front_consumed;
   }
   return t;
 }
@@ -107,9 +114,7 @@ storage::CheckpointTuple DeterministicMerger::tuple() const {
 void DeterministicMerger::install_tuple(const storage::CheckpointTuple& t) {
   MRP_CHECK_MSG(t.size() == state_.size(), "tuple/subscription mismatch");
   for (const auto& [g, next] : t) {
-    auto it = state_.find(g);
-    MRP_CHECK_MSG(it != state_.end(), "tuple group not subscribed");
-    GroupState& gs = it->second;
+    GroupState& gs = state_for(g);
     gs.front_consumed = 0;
     while (!gs.queue.empty()) {
       const auto& [instance, value] = gs.queue.front();

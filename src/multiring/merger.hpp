@@ -21,7 +21,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -90,12 +89,15 @@ class DeterministicMerger {
   };
 
   void pump();
+  GroupState& state_for(GroupId group);
 
   std::vector<GroupId> groups_;  // sorted ascending
   std::uint32_t m_;
   DeliverFn deliver_;
   BoundaryFn on_boundary_;
-  std::map<GroupId, GroupState> state_;
+  // Per-group state, parallel to groups_ (sorted flat layout: the cursor
+  // walk and the per-decision binary search touch contiguous memory).
+  std::vector<GroupState> state_;
   std::size_t cursor_ = 0;       // index into groups_
   std::uint64_t consumed_ = 0;   // instances consumed in current M-window
   bool paused_ = false;

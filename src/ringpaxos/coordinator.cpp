@@ -48,7 +48,6 @@ void RingHandler::resign_coordinator() {
   // recovered by the new coordinator's Phase 1.
   coord_.pending.clear();
   coord_.inflight.clear();
-  coord_.proposed_at.clear();
 }
 
 void RingHandler::handle_phase1a(ProcessId from, const MsgPhase1A& m) {
@@ -193,9 +192,8 @@ void RingHandler::drain_pending() {
 void RingHandler::start_instance(InstanceId instance, paxos::Value v) {
   MRP_CHECK(coord_.active);
   if (!v.is_skip()) ++coord_.interval_value_instances;
-  coord_.inflight[instance] = v;
-  coord_.proposed_at[instance] = host_.now();
-  value_cache_[instance] = v;
+  coord_.inflight.insert_or_assign(instance, Inflight{v, host_.now()});
+  value_cache_.insert_or_assign(instance, v);
 
   auto msg = std::make_shared<MsgPhase2>();
   msg->ring = ring_;
@@ -224,7 +222,6 @@ void RingHandler::coordinator_on_decision(InstanceId instance,
                                           const paxos::Value& v) {
   if (!coord_.active) return;
   coord_.inflight.erase(instance);
-  coord_.proposed_at.erase(instance);
   if (!v.is_skip()) remember_id(v.id);
   drain_pending();
 }
@@ -259,20 +256,23 @@ void RingHandler::retry_tick() {
     return;
   }
   const TimeNs now = host_.now();
-  for (auto& [inst, at] : coord_.proposed_at) {
-    if (now - at < params_.phase2_retry) continue;
-    at = now;
-    auto it = coord_.inflight.find(inst);
-    if (it == coord_.inflight.end()) continue;
+  // Everything below the delivery floor is decided and delivered. Decisions
+  // learned through retransmission catch-up bypass coordinator_on_decision,
+  // so their inflight entries linger; drop them here both to stop useless
+  // re-proposals and to keep the flat window dense.
+  coord_.inflight.erase_below(next_delivery_);
+  coord_.inflight.for_each([&](InstanceId inst, Inflight& f) {
+    if (now - f.proposed_at < params_.phase2_retry) return;
+    f.proposed_at = now;
     auto msg = std::make_shared<MsgPhase2>();
     msg->ring = ring_;
     msg->ttl = static_cast<int>(view_.members.size()) + 2;
     msg->round = coord_.round;
     msg->instance = inst;
-    msg->value = it->second;
+    msg->value = f.value;
     msg->votes = own_vote_bit();  // already logged at start_instance
     forward(msg);
-  }
+  });
 }
 
 }  // namespace mrp::ringpaxos

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/instance_map.hpp"
 #include "common/types.hpp"
 #include "coord/registry.hpp"
 #include "paxos/paxos.hpp"
@@ -112,14 +113,21 @@ class RingHandler {
  private:
   friend class CoordinatorOps;
 
+  /// One undecided proposed instance: the value plus its retry stamp.
+  /// (Previously two parallel std::maps; instance ids are dense, so this
+  /// lives in a flat InstanceMap window.)
+  struct Inflight {
+    paxos::Value value;
+    TimeNs proposed_at = 0;
+  };
+
   struct CoordinatorState {
     bool active = false;
     bool phase1_done = false;
     Round round = 0;
     InstanceId next_instance = 0;
-    std::deque<paxos::Value> pending;                // waiting for window
-    std::map<InstanceId, paxos::Value> inflight;     // proposed, undecided
-    std::map<InstanceId, TimeNs> proposed_at;
+    std::deque<paxos::Value> pending;          // waiting for window
+    InstanceMap<Inflight> inflight;            // proposed, undecided
     std::map<ProcessId, MsgPhase1B> phase1_replies;
     std::unordered_set<ValueId, ValueIdHash> known_ids;  // dedup (bounded)
     std::deque<ValueId> known_order;
@@ -176,9 +184,10 @@ class RingHandler {
   int configured_acceptor_index_ = -1;
 
   // Learner state: values seen (from Phase 2), decisions buffered until
-  // contiguous, and the ordered-delivery watermark.
-  std::unordered_map<InstanceId, paxos::Value> value_cache_;
-  std::map<InstanceId, paxos::Value> decided_buffer_;
+  // contiguous, and the ordered-delivery watermark. Both caches are flat
+  // windows over the dense instance range above the delivery floor.
+  InstanceMap<paxos::Value> value_cache_;
+  InstanceMap<paxos::Value> decided_buffer_;
   std::set<InstanceId> decisions_without_value_;  // decision beat the value
   InstanceId next_delivery_ = 0;
   InstanceId pending_decision_hint_ = 0;  // highest decided instance heard + 1

@@ -176,10 +176,14 @@ void RingHandler::handle_phase2(ProcessId /*from*/, const MsgPhase2& m) {
   // (it logged and voted at start_instance already).
   if (coord_.active && m.round == coord_.round && is_coordinator()) return;
 
-  // Cache the value for delivery and retransmission. If the decision for
-  // this instance raced ahead of the value (possible after reconfiguration
-  // re-sends), learn now.
-  value_cache_[m.instance] = m.value;
+  // Cache the value for delivery and retransmission (unless it is already
+  // fully below the delivery floor and can never be needed again). If the
+  // decision for this instance raced ahead of the value (possible after
+  // reconfiguration re-sends), learn now.
+  const std::uint64_t value_span = std::max<std::uint64_t>(1, m.value.skip_count);
+  if (m.instance + value_span > next_delivery_) {
+    value_cache_.insert_or_assign(m.instance, m.value);
+  }
   if (decisions_without_value_.erase(m.instance) > 0) {
     if (log_) log_->mark_decided(m.instance);
     learn(m.instance, m.value);
@@ -247,15 +251,20 @@ void RingHandler::phase2_accepted(MsgPhase2 out) {
 }
 
 void RingHandler::handle_decision(const MsgDecision& m) {
-  if (m.with_value) value_cache_[m.instance] = m.value;
+  if (m.with_value) {
+    const std::uint64_t span = std::max<std::uint64_t>(1, m.value.skip_count);
+    if (m.instance + span > next_delivery_) {
+      value_cache_.insert_or_assign(m.instance, m.value);
+    }
+  }
 
   paxos::Value value;
   bool have_value = false;
   if (m.with_value) {
     value = m.value;
     have_value = true;
-  } else if (auto it = value_cache_.find(m.instance); it != value_cache_.end()) {
-    value = it->second;
+  } else if (const paxos::Value* cached = value_cache_.find(m.instance)) {
+    value = *cached;
     have_value = true;
   } else if (log_) {
     if (auto rec = log_->get(m.instance)) {
@@ -302,8 +311,7 @@ void RingHandler::learn(InstanceId instance, const paxos::Value& value) {
   // the floor (mid-range checkpoint) must still be delivered; downstream
   // consumers trim the already-covered prefix.
   if (instance + span <= next_delivery_) return;
-  if (decided_buffer_.count(instance)) return;
-  decided_buffer_[instance] = value;
+  if (!decided_buffer_.insert(instance, value)) return;
   ++decided_count_;
   if (value.is_skip()) ++skips_decided_;
   pending_decision_hint_ =
@@ -315,27 +323,33 @@ void RingHandler::learn(InstanceId instance, const paxos::Value& value) {
 void RingHandler::flush_ordered() {
   for (;;) {
     if (decided_buffer_.empty()) break;
-    const InstanceId inst = decided_buffer_.begin()->first;
-    const paxos::Value& front = decided_buffer_.begin()->second;
+    const InstanceId inst = decided_buffer_.front_key();
+    const paxos::Value& front = decided_buffer_.front();
     const std::uint64_t span = std::max<std::uint64_t>(1, front.skip_count);
     // Deliverable when it starts at the floor or straddles it (skip range
     // partially covered by an installed checkpoint).
     if (inst > next_delivery_ || inst + span <= next_delivery_) {
       if (inst + span <= next_delivery_) {
-        decided_buffer_.erase(decided_buffer_.begin());
+        decided_buffer_.pop_front();
         continue;
       }
       break;
     }
-    auto node = decided_buffer_.extract(decided_buffer_.begin());
-    const paxos::Value& v = node.mapped();
+    const paxos::Value v = decided_buffer_.pop_front();
     deliver_(ring_, inst, v);
     own_proposals_.erase(v.id);
-    value_cache_.erase(inst);
     next_delivery_ = inst + span;
     last_progress_ = host_.now();
   }
-  // Anything below the floor is resolved; drop stale value-less markers.
+  // Anything fully below the floor is resolved: drop cached values (keeping
+  // a skip range that straddles the floor — its decision may still arrive)
+  // and stale value-less decision markers.
+  while (!value_cache_.empty() && value_cache_.front_key() < next_delivery_) {
+    const std::uint64_t span =
+        std::max<std::uint64_t>(1, value_cache_.front().skip_count);
+    if (value_cache_.front_key() + span > next_delivery_) break;
+    value_cache_.pop_front();
+  }
   decisions_without_value_.erase(
       decisions_without_value_.begin(),
       decisions_without_value_.lower_bound(next_delivery_));
@@ -343,7 +357,7 @@ void RingHandler::flush_ordered() {
 
 void RingHandler::check_gap() {
   const bool behind = (!decided_buffer_.empty() &&
-                       decided_buffer_.begin()->first > next_delivery_) ||
+                       decided_buffer_.front_key() > next_delivery_) ||
                       pending_decision_hint_ > next_delivery_;
   if (!behind) return;
   if (host_.now() - last_progress_ < params_.gap_timeout) return;
@@ -353,7 +367,7 @@ void RingHandler::check_gap() {
   }
   InstanceId hi = pending_decision_hint_;
   if (!decided_buffer_.empty()) {
-    hi = std::max(hi, decided_buffer_.begin()->first);
+    hi = std::max(hi, decided_buffer_.front_key());
   }
   request_retransmission(hi);
 }
@@ -436,10 +450,11 @@ void RingHandler::set_delivery_floor(InstanceId next) {
   // Drop buffered decisions fully below the floor; keep straddling ranges
   // (flush_ordered delivers them and the consumer trims the prefix).
   while (!decided_buffer_.empty()) {
-    const auto& [inst, v] = *decided_buffer_.begin();
-    const std::uint64_t span = std::max<std::uint64_t>(1, v.skip_count);
+    const InstanceId inst = decided_buffer_.front_key();
+    const std::uint64_t span =
+        std::max<std::uint64_t>(1, decided_buffer_.front().skip_count);
     if (inst + span > next_delivery_) break;
-    decided_buffer_.erase(decided_buffer_.begin());
+    decided_buffer_.pop_front();
   }
   flush_ordered();
 }

@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task.hpp"
 
 namespace mrp::sim {
 
@@ -34,7 +34,7 @@ class Disk {
   Disk(Simulator& sim, DiskParams params);
 
   /// Queues a write of `bytes`; `done` fires when the write is durable.
-  void write(std::size_t bytes, std::function<void()> done);
+  void write(std::size_t bytes, Task done);
 
   /// Completion time a write issued now would see (for modelling async
   /// acknowledgement without a callback).

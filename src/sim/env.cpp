@@ -107,19 +107,17 @@ void Env::send_from(ProcessId from, ProcessId to, MessagePtr m) {
   net_.send(from, to, std::move(m));
 }
 
-void Env::schedule_guarded(ProcessId pid, TimeNs delay,
-                           std::function<void()> fn) {
+void Env::schedule_guarded(ProcessId pid, TimeNs delay, Task fn) {
   const std::uint64_t epoch = rt(pid).epoch;
-  sim_.schedule_after(delay, [this, pid, epoch, f = std::move(fn)] {
+  sim_.schedule_after(delay, [this, pid, epoch, f = std::move(fn)]() mutable {
     const Runtime& r = rt(pid);
     if (r.alive && r.epoch == epoch) f();
   });
 }
 
-std::function<void()> Env::make_guard(ProcessId pid,
-                                      std::function<void()> fn) {
+Task Env::make_guard(ProcessId pid, Task fn) {
   const std::uint64_t epoch = rt(pid).epoch;
-  return [this, pid, epoch, f = std::move(fn)] {
+  return [this, pid, epoch, f = std::move(fn)]() mutable {
     const Runtime& r = rt(pid);
     if (r.alive && r.epoch == epoch) f();
   };

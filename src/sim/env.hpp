@@ -130,9 +130,9 @@ class Env {
   /// oracle senders (the registry) whose traffic bypasses injected faults.
   void send_from(ProcessId from, ProcessId to, MessagePtr m);
   /// Timer that silently cancels if the process crashes (epoch changes).
-  void schedule_guarded(ProcessId pid, TimeNs delay, std::function<void()> fn);
+  void schedule_guarded(ProcessId pid, TimeNs delay, Task fn);
   /// Wraps fn into a callback that no-ops once the process's epoch moves on.
-  std::function<void()> make_guard(ProcessId pid, std::function<void()> fn);
+  Task make_guard(ProcessId pid, Task fn);
   /// Adds CPU cost to pid's serial message-handling lane.
   void charge(ProcessId pid, TimeNs cpu);
   /// Adds CPU cost on pid's background lane (metrics only).

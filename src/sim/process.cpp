@@ -8,22 +8,26 @@ void Process::send(ProcessId to, MessagePtr m) {
   env_.send_from(id_, to, std::move(m));
 }
 
-void Process::after(TimeNs delay, std::function<void()> fn) {
+void Process::after(TimeNs delay, Task fn) {
   env_.schedule_guarded(id_, delay, std::move(fn));
 }
 
-void Process::every(TimeNs period, std::function<void()> fn) {
-  // Re-arming closure: each firing re-checks liveness via the epoch guard
-  // installed by schedule_guarded, so the chain dies with the process.
-  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
-  std::function<void()> tick = [this, period, shared]() {
-    (*shared)();
-    every(period, *shared);
-  };
-  env_.schedule_guarded(id_, period, std::move(tick));
+void Process::every(TimeNs period, Task fn) {
+  rearm(period, std::make_shared<Task>(std::move(fn)));
 }
 
-std::function<void()> Process::guard(std::function<void()> fn) {
+void Process::rearm(TimeNs period, std::shared_ptr<Task> fn) {
+  // Re-arming closure: each firing re-checks liveness via the epoch guard
+  // installed by schedule_guarded, so the chain dies with the process. The
+  // callable itself is shared, so repeat firings re-wrap only this small
+  // (inline-sized) closure.
+  env_.schedule_guarded(id_, period, [this, period, fn] {
+    (*fn)();
+    rearm(period, fn);
+  });
+}
+
+Task Process::guard(Task fn) {
   return env_.make_guard(id_, std::move(fn));
 }
 

@@ -8,11 +8,12 @@
 // Env's stable storage and disks, which survive crashes.
 #pragma once
 
-#include <functional>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/message.hpp"
+#include "sim/task.hpp"
 
 namespace mrp::sim {
 
@@ -44,14 +45,14 @@ class Process {
   void send(ProcessId to, MessagePtr m);
 
   /// One-shot timer; cancelled implicitly if this process crashes first.
-  void after(TimeNs delay, std::function<void()> fn);
+  void after(TimeNs delay, Task fn);
 
   /// Repeating timer with fixed period, first firing after one period.
-  void every(TimeNs period, std::function<void()> fn);
+  void every(TimeNs period, Task fn);
 
   /// Wraps fn so that it is a no-op if this process has crashed (or crashed
   /// and recovered) by the time it runs. Use for disk-completion callbacks.
-  std::function<void()> guard(std::function<void()> fn);
+  Task guard(Task fn);
 
   /// Adds CPU cost to the event being handled (serializes this process).
   void charge(TimeNs cpu);
@@ -68,6 +69,8 @@ class Process {
   Rng& rng();
 
  private:
+  void rearm(TimeNs period, std::shared_ptr<Task> fn);
+
   Env& env_;
   ProcessId id_;
 };

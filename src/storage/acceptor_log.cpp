@@ -31,7 +31,7 @@ std::size_t AcceptorLog::record_wire_size(const paxos::LogRecord& r) {
   return 40 + r.value.payload.size();
 }
 
-void AcceptorLog::persist(std::size_t bytes, std::function<void()> done) {
+void AcceptorLog::persist(std::size_t bytes, sim::Task done) {
   switch (mode_) {
     case WriteMode::Memory:
       if (done) done();
@@ -47,74 +47,79 @@ void AcceptorLog::persist(std::size_t bytes, std::function<void()> done) {
   }
 }
 
-void AcceptorLog::promise(Round r, std::function<void()> done) {
+void AcceptorLog::promise(Round r, sim::Task done) {
   MRP_CHECK_MSG(r >= d_.promised, "promise must not regress");
   d_.promised = r;
   persist(16, std::move(done));
 }
 
 void AcceptorLog::accept(InstanceId instance, const paxos::LogRecord& record,
-                         std::function<void()> done) {
-  auto it = d_.records.find(instance);
-  if (it != d_.records.end()) {
-    if (it->second.decided) {
+                         sim::Task done) {
+  if (instance < d_.trimmed_to) {
+    // The prefix below the trim point is gone for good (Section 5.2):
+    // a stale re-proposal must not resurrect trimmed records, and the flat
+    // record window must not grow back below its base.
+    if (done) done();
+    return;
+  }
+  if (paxos::LogRecord* existing = d_.records.find(instance)) {
+    if (existing->decided) {
       // A decided record is immutable (Paxos guarantees any further accept
       // for this instance carries the same value); nothing to persist.
       if (done) done();
       return;
     }
-    MRP_CHECK_MSG(record.vround >= it->second.vround,
+    MRP_CHECK_MSG(record.vround >= existing->vround,
                   "accept must not regress vround");
   }
-  d_.records[instance] = record;
+  d_.records.insert_or_assign(instance, record);
   persist(record_wire_size(record), std::move(done));
 }
 
 void AcceptorLog::mark_decided(InstanceId instance) {
-  auto it = d_.records.find(instance);
-  if (it != d_.records.end()) it->second.decided = true;
+  if (paxos::LogRecord* rec = d_.records.find(instance)) rec->decided = true;
 }
 
 std::optional<paxos::LogRecord> AcceptorLog::get(InstanceId instance) const {
-  auto it = d_.records.find(instance);
-  if (it == d_.records.end()) return std::nullopt;
-  return it->second;
+  const paxos::LogRecord* rec = d_.records.find(instance);
+  if (rec == nullptr) return std::nullopt;
+  return *rec;
 }
 
 std::vector<std::pair<InstanceId, paxos::LogRecord>> AcceptorLog::range(
     InstanceId lo, InstanceId hi) const {
   std::vector<std::pair<InstanceId, paxos::LogRecord>> out;
-  auto it = d_.records.lower_bound(lo);
   // A skip-range record straddling lo starts below it; include it so that
   // learners recovering from a mid-range position can fill their gap.
-  if (it != d_.records.begin()) {
-    auto prev = std::prev(it);
-    const auto span =
-        std::max<std::uint64_t>(1, prev->second.value.skip_count);
-    if (prev->first + span > lo) out.emplace_back(prev->first, prev->second);
+  InstanceId prev_key = 0;
+  if (const paxos::LogRecord* prev = d_.records.find_last_below(lo, &prev_key)) {
+    const auto span = std::max<std::uint64_t>(1, prev->value.skip_count);
+    if (prev_key + span > lo) out.emplace_back(prev_key, *prev);
   }
-  for (; it != d_.records.end() && it->first < hi; ++it) {
-    out.emplace_back(it->first, it->second);
-  }
+  d_.records.for_each_in(lo, hi, [&out](InstanceId inst,
+                                        const paxos::LogRecord& rec) {
+    out.emplace_back(inst, rec);
+  });
   return out;
 }
 
 std::vector<paxos::Promise> AcceptorLog::promises_from(InstanceId floor) const {
   std::vector<paxos::Promise> out;
-  for (auto it = d_.records.lower_bound(floor); it != d_.records.end(); ++it) {
+  d_.records.for_each_from(floor, [&out](InstanceId inst,
+                                         const paxos::LogRecord& rec) {
     paxos::Promise p;
-    p.instance = it->first;
-    p.vround = it->second.vround;
-    p.value = it->second.value;
-    p.decided = it->second.decided;
+    p.instance = inst;
+    p.vround = rec.vround;
+    p.value = rec.value;
+    p.decided = rec.decided;
     out.push_back(std::move(p));
-  }
+  });
   return out;
 }
 
 void AcceptorLog::trim(InstanceId upto) {
   if (upto <= d_.trimmed_to) return;
-  d_.records.erase(d_.records.begin(), d_.records.lower_bound(upto));
+  d_.records.erase_below(upto);
   d_.trimmed_to = upto;
   // Trim metadata is tiny; written through the same mode.
   persist(16, nullptr);
@@ -124,7 +129,7 @@ InstanceId AcceptorLog::trimmed_to() const { return d_.trimmed_to; }
 
 std::optional<InstanceId> AcceptorLog::highest_instance() const {
   if (d_.records.empty()) return std::nullopt;
-  return d_.records.rbegin()->first;
+  return d_.records.back_key();
 }
 
 std::size_t AcceptorLog::record_count() const { return d_.records.size(); }

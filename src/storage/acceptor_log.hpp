@@ -16,14 +16,15 @@
 //             still writes through the OS page cache.
 //   * Memory — pre-allocated off-heap buffers; nothing written to the device.
 //
-// Durable contents survive crash/recover via Env::stable storage.
+// Durable contents survive crash/recover via Env::stable storage. Records
+// live in an InstanceMap (flat window over [trimmed_to, highest]) rather
+// than a tree: instance ids are dense, trimming pops the window's front.
 #pragma once
 
-#include <functional>
-#include <map>
 #include <optional>
 #include <string>
 
+#include "common/instance_map.hpp"
 #include "common/types.hpp"
 #include "paxos/paxos.hpp"
 #include "sim/env.hpp"
@@ -46,13 +47,13 @@ class AcceptorLog {
   // --- promises (multi-instance: one promised round for all instances) ---
   Round promised() const;
   /// Persists a promise; `done` fires when durable (per mode).
-  void promise(Round r, std::function<void()> done);
+  void promise(Round r, sim::Task done);
 
   // --- accepted records ---
   /// Persists an accepted (instance, record); `done` fires per mode.
   /// Overwrites any record with a lower vround (Paxos re-proposal).
   void accept(InstanceId instance, const paxos::LogRecord& record,
-              std::function<void()> done);
+              sim::Task done);
 
   /// Marks [instance, instance+count) decided (decision observed on ring).
   void mark_decided(InstanceId instance);
@@ -81,11 +82,11 @@ class AcceptorLog {
   struct Durable {
     Round promised = 0;
     InstanceId trimmed_to = 0;
-    std::map<InstanceId, paxos::LogRecord> records;
+    InstanceMap<paxos::LogRecord> records;
   };
 
   static std::size_t record_wire_size(const paxos::LogRecord& r);
-  void persist(std::size_t bytes, std::function<void()> done);
+  void persist(std::size_t bytes, sim::Task done);
 
   sim::Env& env_;
   ProcessId owner_;

@@ -23,7 +23,7 @@ CheckpointStore::CheckpointStore(sim::Env& env, ProcessId owner, int disk_index)
       disk_index_(disk_index),
       d_(env.stable<Durable>(owner, "checkpoints")) {}
 
-void CheckpointStore::save(Checkpoint cp, std::function<void()> done) {
+void CheckpointStore::save(Checkpoint cp, sim::Task done) {
   const std::size_t bytes = cp.wire_size();
   cp.sequence = ++d_.saves;
   d_.latest = std::move(cp);

@@ -9,7 +9,6 @@
 // protocol relies on.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -42,7 +41,7 @@ class CheckpointStore {
   /// Persists a checkpoint (synchronous device write — the paper writes
   /// checkpoints synchronously so that trim decisions are safe); `done`
   /// fires when durable. Only the most recent checkpoint is retained.
-  void save(Checkpoint cp, std::function<void()> done);
+  void save(Checkpoint cp, sim::Task done);
 
   /// Most recent durable checkpoint, if any.
   std::optional<Checkpoint> latest() const;

@@ -235,7 +235,11 @@ TEST(BenchReporter, TopLevelSchema) {
   Json doc;
   ASSERT_TRUE(JsonParser(rep.json()).parse(&doc));
   EXPECT_EQ(doc.at("bench").str, "unit");
-  EXPECT_EQ(doc.at("schema_version").num, 1);
+  EXPECT_EQ(doc.at("schema_version").num, 2);
+  // Engine-speed fields are always present (schema v2).
+  EXPECT_GE(doc.at("wall_seconds").num, 0);
+  EXPECT_GE(doc.at("sim_events").num, 0);
+  EXPECT_GE(doc.at("events_per_second").num, 0);
   EXPECT_EQ(doc.at("config").at("proposer_threads").num, 10);
   EXPECT_EQ(doc.at("config").at("network").str, "cluster");
   ASSERT_EQ(doc.at("rows").arr.size(), 2u);
@@ -278,6 +282,16 @@ TEST(BenchReporter, EscapesStringsAndNonFiniteNumbers) {
             "line1\nline2 \"quoted\" back\\slash");
   EXPECT_EQ(doc.at("rows").arr[0].at("metrics").at("bad").kind,
             Json::Kind::Null);
+}
+
+TEST(BenchReporter, CountsSimEventsExecutedWhileAlive) {
+  bench::BenchReporter rep("events");
+  sim::Simulator s(1);
+  for (int i = 0; i < 100; ++i) s.schedule_at(i, [] {});
+  s.run_until_idle();
+  Json doc;
+  ASSERT_TRUE(JsonParser(rep.json()).parse(&doc));
+  EXPECT_GE(doc.at("sim_events").num, 100);
 }
 
 TEST(BenchReporter, EmptyReporterStillParses) {

@@ -98,6 +98,91 @@ TEST(Codec, TrailingBytesDetected) {
   EXPECT_THROW(r.expect_done(), CodecError);
 }
 
+TEST(Codec, TruncatedVarintThrows) {
+  // Continuation bit set on the last byte: the decoder runs off the end.
+  Bytes evil{0x80};
+  Reader r(evil);
+  EXPECT_THROW(r.varint(), CodecError);
+  Bytes evil2{0xff, 0xff, 0x80};
+  Reader r2(evil2);
+  EXPECT_THROW(r2.varint(), CodecError);
+}
+
+TEST(Codec, MaximumWidthVarintRoundtrips) {
+  // ~0ULL needs the full 10-byte LEB128 encoding.
+  Writer w;
+  w.varint(~0ULL);
+  EXPECT_EQ(w.size(), 10u);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.varint(), ~0ULL);
+  r.expect_done();
+  // The highest single-9-byte value round-trips too.
+  Writer w2;
+  w2.varint((1ULL << 63) - 1);
+  EXPECT_EQ(w2.size(), 9u);
+  Reader r2(w2.buffer());
+  EXPECT_EQ(r2.varint(), (1ULL << 63) - 1);
+  r2.expect_done();
+}
+
+TEST(Codec, StringLengthPastEndThrows) {
+  Bytes evil{0x7f, 'h', 'i'};  // length 127, only 2 bytes follow
+  Reader r(evil);
+  EXPECT_THROW(r.str(), CodecError);
+  Reader r2(evil);
+  EXPECT_THROW(r2.str_view(), CodecError);
+}
+
+TEST(Codec, ExpectDoneRejectsTrailingBytes) {
+  Writer w;
+  w.varint(7);
+  w.u8(0x99);  // trailing garbage after the consumed prefix
+  Reader r(w.buffer());
+  EXPECT_EQ(r.varint(), 7u);
+  EXPECT_THROW(r.expect_done(), CodecError);
+  EXPECT_EQ(r.u8(), 0x99);
+  r.expect_done();  // fully consumed now
+}
+
+TEST(Codec, ViewAccessorsAreZeroCopy) {
+  Writer w;
+  w.str("zero copy");
+  w.bytes(Bytes{9, 8, 7});
+  const Bytes& buf = w.buffer();
+  Reader r(buf);
+  const std::string_view sv = r.str_view();
+  EXPECT_EQ(sv, "zero copy");
+  // The view points into the writer's buffer, not a copy.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(sv.data()), buf.data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(sv.data()),
+            buf.data() + buf.size());
+  const auto bv = r.bytes_view();
+  ASSERT_EQ(bv.size(), 3u);
+  EXPECT_EQ(bv[0], 9);
+  EXPECT_GE(bv.data(), buf.data());
+  r.expect_done();
+}
+
+TEST(Codec, ReaderRejectsTemporaryBuffers) {
+  // Reader is a non-owning view; binding one to an rvalue would dangle.
+  static_assert(!std::is_constructible_v<Reader, Bytes&&>);
+  static_assert(std::is_constructible_v<Reader, const Bytes&>);
+}
+
+TEST(Codec, WriterClearReusesBuffer) {
+  Writer w;
+  w.reserve(64);
+  w.str("first message");
+  const Bytes first = w.buffer();
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.str("second");
+  Reader r(w.buffer());
+  EXPECT_EQ(r.str(), "second");
+  r.expect_done();
+  EXPECT_NE(first, w.buffer());
+}
+
 TEST(Codec, RandomRoundtripProperty) {
   Rng rng(2024);
   for (int iter = 0; iter < 200; ++iter) {

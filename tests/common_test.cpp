@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/histogram.hpp"
 #include "common/metrics.hpp"
@@ -150,6 +151,77 @@ TEST(Histogram, CdfMonotone) {
     EXPECT_GE(cdf[i].second, cdf[i - 1].second);
   }
   EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, PowerOfTwoBoundariesWithinRelativeError) {
+  // Values at bucket-group boundaries (exact powers of two) must report
+  // back within the configured relative error (2^-5 for the default).
+  for (int k = 1; k <= 40; ++k) {
+    Histogram h;
+    const std::int64_t v = 1LL << k;
+    h.record(v);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), static_cast<double>(v),
+                static_cast<double>(v) / 32.0 + 1)
+        << "k=" << k;
+  }
+}
+
+TEST(Histogram, SubBucketEdgesResolve) {
+  // Two values one sub-bucket apart (v and v + v/2^5) land in different
+  // buckets: the CDF keeps them distinguishable.
+  Histogram h;
+  const std::int64_t v = 1 << 20;
+  h.record(v);
+  h.record(v + (v >> 5));
+  const auto cdf = h.cdf();
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_LT(cdf[0].first, cdf[1].first);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].second, 1.0);
+  // Values inside the same sub-bucket collapse into one point.
+  Histogram same;
+  same.record(v);
+  same.record(v + 1);
+  EXPECT_EQ(same.cdf().size(), 1u);
+}
+
+TEST(Histogram, ClampsAtTopBucket) {
+  Histogram h;
+  h.record(std::numeric_limits<std::int64_t>::max());
+  h.record(std::numeric_limits<std::int64_t>::max() - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::int64_t>::max());
+  // Reported quantiles clamp to the observed range, never overflow.
+  EXPECT_EQ(h.quantile(1.0), std::numeric_limits<std::int64_t>::max());
+  EXPECT_GE(h.quantile(0.5), h.min());
+  EXPECT_LE(h.quantile(0.5), h.max());
+}
+
+TEST(Histogram, RecordNMatchesRepeatedRecord) {
+  Histogram a, b;
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(1'000'000));
+    const std::uint64_t n = rng.next_below(16) + 1;
+    a.record_n(v, n);
+    for (std::uint64_t j = 0; j < n; ++j) b.record(v);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.cdf(), b.cdf());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+  }
+}
+
+TEST(Histogram, RecordNZeroIsNoOp) {
+  Histogram h;
+  h.record_n(123, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.cdf().empty());
 }
 
 TEST(Histogram, RecordNegativeClampsToZero) {

@@ -1,0 +1,181 @@
+// InstanceMap is the flat container behind the coordinator's in-flight
+// window, the learner's decision buffer, and the acceptor log. These tests
+// pin its map semantics (insert/find/erase, ordered traversal) and the
+// window mechanics (prefix trim, front/back invariants, below-base growth)
+// against a std::map reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/instance_map.hpp"
+#include "common/rng.hpp"
+
+namespace mrp {
+namespace {
+
+TEST(InstanceMap, StartsEmpty) {
+  InstanceMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(0));
+  EXPECT_EQ(m.find(42), nullptr);
+}
+
+TEST(InstanceMap, InsertFindErase) {
+  InstanceMap<std::string> m;
+  EXPECT_TRUE(m.insert(10, "a"));
+  EXPECT_FALSE(m.insert(10, "dup"));  // only-if-absent
+  m.insert_or_assign(10, "b");
+  ASSERT_NE(m.find(10), nullptr);
+  EXPECT_EQ(*m.find(10), "b");
+  EXPECT_FALSE(m.contains(9));
+  EXPECT_FALSE(m.contains(11));
+  EXPECT_TRUE(m.erase(10));
+  EXPECT_FALSE(m.erase(10));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(InstanceMap, BracketDefaultConstructs) {
+  InstanceMap<int> m;
+  m[7] += 5;
+  m[7] += 5;
+  EXPECT_EQ(*m.find(7), 10);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(InstanceMap, FrontAndBackTrackOccupiedKeys) {
+  InstanceMap<int> m;
+  m.insert(100, 1);
+  m.insert(105, 2);
+  m.insert(103, 3);
+  EXPECT_EQ(m.front_key(), 100u);
+  EXPECT_EQ(m.back_key(), 105u);
+  // Erasing the extremes shrinks the window to the next occupied slot.
+  m.erase(100);
+  EXPECT_EQ(m.front_key(), 103u);
+  m.erase(105);
+  EXPECT_EQ(m.back_key(), 103u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(InstanceMap, PopFrontDrainsInKeyOrder) {
+  InstanceMap<int> m;
+  for (InstanceId k : {20u, 5u, 11u, 7u}) m.insert(k, static_cast<int>(k));
+  std::vector<int> order;
+  while (!m.empty()) order.push_back(m.pop_front());
+  EXPECT_EQ(order, (std::vector<int>{5, 7, 11, 20}));
+}
+
+TEST(InstanceMap, GrowsBelowBase) {
+  InstanceMap<int> m;
+  m.insert(50, 50);
+  m.insert(45, 45);  // below the current window base
+  EXPECT_EQ(m.front_key(), 45u);
+  EXPECT_EQ(*m.find(45), 45);
+  EXPECT_EQ(*m.find(50), 50);
+}
+
+TEST(InstanceMap, EraseBelowTrimsPrefix) {
+  InstanceMap<int> m;
+  for (InstanceId k = 0; k < 100; ++k) m.insert(k, static_cast<int>(k));
+  m.erase_below(60);
+  EXPECT_EQ(m.size(), 40u);
+  EXPECT_EQ(m.front_key(), 60u);
+  EXPECT_FALSE(m.contains(59));
+  m.erase_below(1000);  // past the end: empties the map
+  EXPECT_TRUE(m.empty());
+  m.insert(2000, 1);  // window re-bases cleanly after emptying
+  EXPECT_EQ(m.front_key(), 2000u);
+}
+
+TEST(InstanceMap, FindLastBelow) {
+  InstanceMap<int> m;
+  m.insert(10, 1);
+  m.insert(20, 2);
+  InstanceId key = 0;
+  EXPECT_EQ(m.find_last_below(10, &key), nullptr);  // nothing below 10
+  const int* v = m.find_last_below(20, &key);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(key, 10u);
+  EXPECT_EQ(*v, 1);
+  v = m.find_last_below(1000, &key);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(key, 20u);
+}
+
+TEST(InstanceMap, RangeTraversals) {
+  InstanceMap<int> m;
+  for (InstanceId k : {3u, 5u, 9u, 12u}) m.insert(k, static_cast<int>(k));
+  std::vector<InstanceId> keys;
+  m.for_each_in(4, 12, [&](InstanceId k, const int&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<InstanceId>{5, 9}));
+  keys.clear();
+  m.for_each_from(5, [&](InstanceId k, const int&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<InstanceId>{5, 9, 12}));
+  keys.clear();
+  m.for_each([&](InstanceId k, int&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<InstanceId>{3, 5, 9, 12}));
+}
+
+TEST(InstanceMap, MatchesMapReferenceModel) {
+  // Random interleaving of the operations the protocol performs, checked
+  // against std::map. Keys drift upward like real instance ids.
+  InstanceMap<int> m;
+  std::map<InstanceId, int> ref;
+  Rng rng(2025);
+  InstanceId floor = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const InstanceId key = floor + rng.next_below(64);
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {
+        const int v = static_cast<int>(rng.next_below(1000));
+        m.insert_or_assign(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 3: {
+        const int* found = m.find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+      case 4: {
+        if (!ref.empty() && rng.next_below(8) == 0) {
+          floor += rng.next_below(16);
+          m.erase_below(floor);
+          ref.erase(ref.begin(), ref.lower_bound(floor));
+        }
+        break;
+      }
+      case 5: {
+        if (!ref.empty()) {
+          ASSERT_FALSE(m.empty());
+          EXPECT_EQ(m.front_key(), ref.begin()->first);
+          EXPECT_EQ(m.back_key(), ref.rbegin()->first);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Drain both and compare the full ordered contents.
+  for (auto& [k, v] : ref) {
+    ASSERT_FALSE(m.empty());
+    EXPECT_EQ(m.front_key(), k);
+    EXPECT_EQ(m.pop_front(), v);
+  }
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace mrp

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compares BENCH_*.json engine-speed numbers against bench/baseline.json.
+
+Usage: tools/check_perf.py RESULTS_DIR [BASELINE_JSON]
+
+The baseline records events_per_second reference values (top-level per
+bench, per-row for micro_sim) measured on a CI-class runner, plus a
+tolerance factor. A run fails only when a metric drops below
+reference / tolerance — the tolerance is deliberately generous (2x) so that
+runner-to-runner noise never trips it, while a genuine engine regression
+(the kind that halves simulator speed) does.
+
+Exit code 0 = all metrics within tolerance; 1 = regression or missing data.
+"""
+import json
+import pathlib
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} RESULTS_DIR [BASELINE_JSON]")
+    results = pathlib.Path(sys.argv[1])
+    baseline_path = pathlib.Path(
+        sys.argv[2] if len(sys.argv) > 2 else "bench/baseline.json")
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = float(baseline.get("tolerance_factor", 2.0))
+
+    checked = 0
+    for name, ref in baseline["benches"].items():
+        path = results / f"BENCH_{name}.json"
+        if not path.exists():
+            fail(f"{path} missing (bench not run?)")
+        doc = json.loads(path.read_text())
+
+        def check(metric_name: str, current: float, reference: float) -> None:
+            nonlocal checked
+            floor = reference / tolerance
+            status = "ok" if current >= floor else "REGRESSION"
+            print(f"  {status:>10}  {metric_name}: {current:,.0f} ev/s "
+                  f"(reference {reference:,.0f}, floor {floor:,.0f})")
+            if current < floor:
+                fail(f"{metric_name} regressed more than {tolerance}x")
+            checked += 1
+
+        print(f"{name}:")
+        if "events_per_second" in ref:
+            check(f"{name}/events_per_second",
+                  float(doc["events_per_second"]),
+                  float(ref["events_per_second"]))
+        for row_label, row_ref in ref.get("rows", {}).items():
+            row = next((r for r in doc.get("rows", [])
+                        if r.get("label") == row_label), None)
+            if row is None:
+                fail(f"{name}: row '{row_label}' missing from results")
+            check(f"{name}/{row_label}",
+                  float(row["metrics"]["events_per_second"]),
+                  float(row_ref["events_per_second"]))
+
+    if checked == 0:
+        fail("baseline contains no metrics to check")
+    print(f"all {checked} engine-speed metrics within {tolerance}x of baseline")
+
+
+if __name__ == "__main__":
+    main()
