@@ -1,10 +1,14 @@
-// Example: a geo-replicated MRP-Store across four regions.
+// Example: a geo-replicated MRP-Store across four regions, with live
+// scale-out.
 //
 // Shows how to describe a WAN topology (sites + inter-region latencies),
-// deploy one partition per region with a global ring for cross-partition
-// ordering, and measure what each region's clients experience. Per-region
-// writes stay local-latency-cheap to propose but deliver behind the global
-// merge; cross-partition scans are totally ordered with all writes.
+// deploy one range-partitioned region per site with a global ring for
+// cross-partition ordering, and measure what each region's clients
+// experience. Halfway through the run the busiest region's partition is
+// split *while serving traffic*: a new ring + fresh replicas in the same
+// region take over half its key range via ordered cutover and state
+// transfer, and clients recover from stale routes automatically
+// (kStaleRouting -> schema refresh -> retry).
 //
 //   ./example_geo_store
 #include <cstdio>
@@ -13,6 +17,7 @@
 
 #include "coord/registry.hpp"
 #include "mrpstore/client.hpp"
+#include "mrpstore/elastic.hpp"
 #include "mrpstore/store.hpp"
 #include "sim/env.hpp"
 #include "smr/client.hpp"
@@ -35,13 +40,16 @@ int main() {
   env.net().set_site_latency(2, 3, from_millis(10));
   env.net().set_site_bandwidth(1e9);
 
-  // One partition (ring of 3 replicas) per region + a global ring; WAN
-  // parameters from the paper: M=1, Delta=20 ms, lambda=2000.
+  // One partition (ring of 3 replicas) per region + a global ring; the
+  // range schema maps region r to partition r, so it can shed a sub-range
+  // online later. WAN parameters from the paper: Delta=20 ms, lambda=2000.
   mrpstore::StoreOptions so;
   so.partitions = 4;
   so.replicas_per_partition = 3;
   so.global_ring = true;
   so.sites = {0, 1, 2, 3};
+  so.partitioner =
+      mrpstore::RangePartitioner({"region1", "region2", "region3"}).encode();
   so.ring_params.lambda = 2000;
   so.ring_params.skip_interval = 20 * kMillisecond;
   so.ring_params.gap_timeout = 200 * kMillisecond;
@@ -51,35 +59,29 @@ int main() {
   auto dep = build_store(env, registry, so);
   mrpstore::StoreClient store(dep);
 
-  // One client per region writing region-local keys.
+  // One client per region writing region-local keys; every client wears the
+  // stale-routing retry hook, so the mid-run split is transparent to it.
   std::vector<smr::ClientNode*> clients;
   for (int region = 0; region < 4; ++region) {
     const ProcessId cpid = 900 + region;
     env.net().set_site(cpid, region);
-    clients.push_back(env.spawn<smr::ClientNode>(
+    auto* c = env.spawn<smr::ClientNode>(
         cpid, smr::ClientNode::Options{16, 5 * kSecond, 0},
         smr::ClientNode::NextFn(
-            [&store, &dep, region, n = 0](std::uint32_t) mutable
+            [&store, region, n = 0](std::uint32_t) mutable
             -> std::optional<smr::Request> {
               const std::string key =
                   "region" + std::to_string(region) + "/doc" +
                   std::to_string(n++ % 256);
-              smr::Request r;
-              r.sends.push_back(smr::Request::Send{
-                  dep.partition_groups[static_cast<std::size_t>(region)],
-                  dep.replicas[static_cast<std::size_t>(region)]});
-              mrpstore::Op op;
-              op.type = mrpstore::OpType::kInsert;
-              op.key = key;
-              op.value = to_bytes("v");
-              r.op = mrpstore::encode_op(op);
-              return r;
+              return store.insert(key, to_bytes("v"));
             }),
-        smr::ClientNode::DoneFn(nullptr)));
+        smr::ClientNode::DoneFn(nullptr));
+    c->set_reroute(store.reroute_fn(&registry));
+    clients.push_back(c);
   }
 
   // A roaming analyst in eu-west runs global scans (consistent snapshots
-  // across all four regions).
+  // across all regions, ordered with every write).
   std::size_t last_scan_size = 0;
   env.net().set_site(910, 0);
   env.spawn<smr::ClientNode>(
@@ -93,24 +95,63 @@ int main() {
             mrpstore::StoreClient::merge_scan(c.results).entries.size();
       }));
 
-  env.sim().run_for(from_seconds(15));
+  env.sim().run_for(from_seconds(7));
+  const std::uint64_t writes_before_split = clients[3]->completed();
 
-  std::printf("geo store after 15 s:\n");
+  // us-west-2 is running hot: split its partition at doc2, moving docs
+  // 2xx/3../9.. to a new ring (replicas 500-502) in the same region — all
+  // while the writes above keep flowing.
+  std::printf("t=7s: splitting us-west-2's partition (live)...\n");
+  mrpstore::SplitSpec spec;
+  spec.source_group = dep.partition_groups[3];
+  spec.split_key = "region3/doc2";
+  spec.new_group = 100;
+  spec.new_replicas = {500, 501, 502};
+  spec.ring_params = so.ring_params;
+  spec.global_params = so.global_params;
+  spec.replica_options = so.replica_options;
+  spec.admin_pid = 899;
+  spec.site = 3;
+  split_partition(env, registry, dep, spec);
+
+  env.sim().run_for(from_seconds(8));
+
+  std::printf("geo store after 15 s (schema v%llu, %zu partitions):\n",
+              static_cast<unsigned long long>(dep.schema_version),
+              dep.partition_groups.size());
   bool ok = true;
   for (int region = 0; region < 4; ++region) {
     auto* c = clients[static_cast<std::size_t>(region)];
-    std::printf("  %-10s: %6llu writes, p50 latency %.0f ms\n", names[region],
+    std::printf("  %-10s: %6llu writes, p50 latency %.0f ms, %llu reroutes\n",
+                names[region],
                 static_cast<unsigned long long>(c->completed()),
                 static_cast<double>(c->latency_histogram().quantile(0.5)) /
-                    1e6);
+                    1e6,
+                static_cast<unsigned long long>(c->reroutes()));
     ok = ok && c->completed() > 100;
   }
   std::printf("  last global scan saw %zu documents (totally ordered with "
               "all writes)\n",
               last_scan_size);
   ok = ok && last_scan_size > 0;
-  std::printf("%s\n", ok ? "PASS: all regions progressed and global scans "
-                           "returned data"
+
+  // The split must have gone live: schema v2, the new replicas carry the
+  // transferred + fresh upper-half documents, and region-3 writes kept
+  // completing (some rerouted) after the cutover.
+  auto& new_kv = dynamic_cast<mrpstore::KvStateMachine&>(
+      env.process_as<smr::ReplicaNode>(500)->state_machine());
+  std::printf("  new us-west-2 ring: %zu docs after live state transfer, "
+              "%llu writes kept flowing post-split\n",
+              new_kv.size(),
+              static_cast<unsigned long long>(clients[3]->completed() -
+                                              writes_before_split));
+  ok = ok && dep.schema_version == 2 && new_kv.size() > 0;
+  ok = ok && clients[3]->completed() > writes_before_split + 50;
+  ok = ok && clients[3]->reroutes() > 0;
+
+  std::printf("%s\n", ok ? "PASS: all regions progressed, global scans "
+                           "returned data, and the live split served traffic "
+                           "throughout"
                          : "FAIL");
   return ok ? 0 : 1;
 }

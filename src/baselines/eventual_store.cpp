@@ -83,6 +83,8 @@ Bytes EventualNode::execute(const Bytes& op_bytes) {
       }
       break;
     }
+    case OpType::kSplit:
+      break;  // MRP-Store control op; meaningless for the baseline
   }
   return mrpstore::encode_result(res);
 }

@@ -52,6 +52,8 @@ void SingleNodeStore::on_message(ProcessId /*from*/, const sim::Message& m) {
       }
       break;
     }
+    case OpType::kSplit:
+      break;  // MRP-Store control op; meaningless for the baseline
   }
   auto reply = std::make_shared<smr::MsgClientReply>();
   reply->session = req.command.session;

@@ -98,6 +98,40 @@ std::vector<GroupId> Registry::rings() const {
   return out;
 }
 
+void Registry::bump_view(RingState& rs) {
+  std::set<ProcessId> alive;
+  for (ProcessId p : rs.config.order) {
+    if (env_.is_alive(p)) alive.insert(p);
+  }
+  rs.view = build_view(rs.config, alive, rs.view.epoch + 1,
+                       rs.view.coordinator);
+  rs.notified.clear();
+  notify(rs);
+}
+
+void Registry::add_ring_member(GroupId ring, ProcessId p) {
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  RingState& rs = it->second;
+  MRP_CHECK_MSG(std::find(rs.config.order.begin(), rs.config.order.end(),
+                          p) == rs.config.order.end(),
+                "already a ring member");
+  rs.config.order.push_back(p);
+  bump_view(rs);
+}
+
+void Registry::remove_ring_member(GroupId ring, ProcessId p) {
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  RingState& rs = it->second;
+  MRP_CHECK_MSG(!rs.config.acceptors.count(p),
+                "cannot remove an acceptor: the quorum basis is fixed");
+  auto pos = std::find(rs.config.order.begin(), rs.config.order.end(), p);
+  MRP_CHECK_MSG(pos != rs.config.order.end(), "not a ring member");
+  rs.config.order.erase(pos);
+  bump_view(rs);
+}
+
 void Registry::watch_ring(GroupId ring, ProcessId p) {
   auto it = rings_.find(ring);
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
@@ -108,14 +142,35 @@ void Registry::watch_ring(GroupId ring, ProcessId p) {
   it->second.notified.insert(p);
 }
 
+void Registry::unwatch_ring(GroupId ring, ProcessId p) {
+  auto it = rings_.find(ring);
+  if (it == rings_.end()) return;
+  it->second.watchers.erase(p);
+  it->second.notified.erase(p);
+}
+
 void Registry::set_subscriptions(ProcessId p, std::vector<GroupId> groups) {
   std::sort(groups.begin(), groups.end());
-  subscriptions_[p] = std::move(groups);
+  subscriptions_[p] = groups;
+  const std::uint64_t epoch = ++sub_epochs_[p];
+  for (ProcessId w : sub_watchers_) {
+    if (!env_.is_alive(w)) continue;
+    auto msg = std::make_shared<MsgSubChange>();
+    msg->process = p;
+    msg->epoch = epoch;
+    msg->groups = groups;
+    env_.send_from(kRegistrySender, w, msg);
+  }
 }
 
 std::vector<GroupId> Registry::subscriptions(ProcessId p) const {
   auto it = subscriptions_.find(p);
   return it == subscriptions_.end() ? std::vector<GroupId>{} : it->second;
+}
+
+std::uint64_t Registry::subscription_epoch(ProcessId p) const {
+  auto it = sub_epochs_.find(p);
+  return it == sub_epochs_.end() ? 0 : it->second;
 }
 
 std::vector<ProcessId> Registry::subscribers(GroupId group) const {
@@ -136,6 +191,41 @@ std::vector<ProcessId> Registry::partition_peers(ProcessId p) const {
     if (groups == it->second) out.push_back(q);
   }
   return out;
+}
+
+void Registry::watch_subscriptions(ProcessId watcher) {
+  sub_watchers_.insert(watcher);
+}
+
+std::uint64_t Registry::publish_schema(const std::string& key,
+                                       const std::string& encoded) {
+  SchemaState& ss = schemas_[key];
+  ++ss.entry.version;
+  ss.entry.encoded = encoded;
+  for (ProcessId w : ss.watchers) {
+    if (!env_.is_alive(w)) continue;
+    auto msg = std::make_shared<MsgSchemaChange>();
+    msg->key = key;
+    msg->entry = ss.entry;
+    env_.send_from(kRegistrySender, w, msg);
+  }
+  return ss.entry.version;
+}
+
+const SchemaEntry& Registry::schema(const std::string& key) const {
+  static const SchemaEntry kEmpty;
+  auto it = schemas_.find(key);
+  return it == schemas_.end() ? kEmpty : it->second.entry;
+}
+
+void Registry::watch_schema(const std::string& key, ProcessId watcher) {
+  SchemaState& ss = schemas_[key];
+  ss.watchers.insert(watcher);
+  if (ss.entry.version == 0) return;
+  auto msg = std::make_shared<MsgSchemaChange>();
+  msg->key = key;
+  msg->entry = ss.entry;
+  env_.send_from(kRegistrySender, watcher, msg);
 }
 
 void Registry::set_meta(const std::string& key, const std::string& value) {

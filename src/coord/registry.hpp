@@ -12,8 +12,15 @@
 //   * election: sticky — the current coordinator is kept while alive,
 //     otherwise the first alive acceptor in configured ring order takes over,
 //   * subscriptions: learners register the set of groups they deliver;
-//     replicas with equal subscription sets form a partition (Section 5.2),
-//   * metadata: string key/value store for the services' partition schema.
+//     replicas with equal subscription sets form a partition (Section 5.2).
+//     Every change bumps the node's subscription epoch and is published to
+//     subscription watchers as MsgSubChange,
+//   * schemas: versioned key/value metadata (the services' partition
+//     schema). publish_schema bumps the key's version and notifies schema
+//     watchers with MsgSchemaChange — the watch-style pattern ring views
+//     use, which is what makes online scale-out observable,
+//   * dynamic membership: rings can gain (and shed) non-acceptor members
+//     while serving traffic; every change is a new epoch-numbered view.
 //
 // View epochs are monotonically increasing per ring and double as Paxos
 // round numbers, so a newly elected coordinator always owns a higher round
@@ -47,14 +54,26 @@ struct RingView {
   ProcessId successor(ProcessId p) const;
 };
 
-/// Static configuration of one ring (one multicast group).
+/// Configuration of one ring (one multicast group). The member list can
+/// grow/shrink at runtime (add_ring_member / remove_ring_member); the
+/// acceptor set is fixed for the ring's lifetime, so the quorum basis never
+/// changes under reconfiguration.
 struct RingConfig {
   GroupId ring = -1;
   std::vector<ProcessId> order;   // full configured ring order
   std::set<ProcessId> acceptors;  // subset of order
 };
 
+/// A versioned schema entry (the services' partition schema). Version 0
+/// means "never published".
+struct SchemaEntry {
+  std::uint64_t version = 0;
+  std::string encoded;
+};
+
 constexpr int kMsgViewChange = 600;
+constexpr int kMsgSchemaChange = 601;
+constexpr int kMsgSubChange = 602;
 
 struct MsgViewChange : sim::Message {
   RingView view;
@@ -64,31 +83,94 @@ struct MsgViewChange : sim::Message {
   }
 };
 
+/// Watch notification: schema `key` is now at `entry.version`.
+struct MsgSchemaChange : sim::Message {
+  std::string key;
+  SchemaEntry entry;
+  int kind() const override { return kMsgSchemaChange; }
+  std::size_t wire_size() const override {
+    return 24 + key.size() + entry.encoded.size();
+  }
+};
+
+/// Watch notification: `process` changed its subscription set (epoch is the
+/// node's per-process subscription epoch).
+struct MsgSubChange : sim::Message {
+  ProcessId process = kNoProcess;
+  std::uint64_t epoch = 0;
+  std::vector<GroupId> groups;
+  int kind() const override { return kMsgSubChange; }
+  std::size_t wire_size() const override { return 24 + groups.size() * 4; }
+};
+
 class Registry {
  public:
   /// fd_interval bounds failure-detection (and recovery-detection) lag.
   explicit Registry(sim::Env& env, TimeNs fd_interval = 100 * kMillisecond);
 
   // --- rings & views ---
+
+  /// Registers a new ring. The initial view (epoch 1) optimistically
+  /// contains every configured member; the failure-detector poll prunes
+  /// anything that never comes up.
   void create_ring(const RingConfig& config);
+  /// The current (most recent) view of `ring`.
   const RingView& current_view(GroupId ring) const;
+  /// The ring's configured membership (including crashed members).
   const RingConfig& config(GroupId ring) const;
+  /// Ids of every registered ring.
   std::vector<GroupId> rings() const;
+
+  /// Adds `p` to the ring's member order (appended at the tail) while the
+  /// ring serves traffic and publishes the change as a new view. Dynamic
+  /// members are never acceptors: the quorum basis stays fixed, so no Paxos
+  /// reconfiguration is needed — this is how a scale-out replica joins an
+  /// existing ring's decision stream.
+  void add_ring_member(GroupId ring, ProcessId p);
+
+  /// Removes a dynamic (non-acceptor) member from the ring order and
+  /// publishes the change as a new view.
+  void remove_ring_member(GroupId ring, ProcessId p);
 
   /// Registers p as a watcher: it receives the current view immediately and
   /// a MsgViewChange whenever the view changes. Watches survive crashes of
   /// the watcher (the view is re-sent when it rejoins).
   void watch_ring(GroupId ring, ProcessId p);
 
+  /// Removes p's watch on `ring` (a detached handler stops being notified).
+  void unwatch_ring(GroupId ring, ProcessId p);
+
   // --- subscriptions & partitions ---
+
+  /// Registers the set of groups `p` delivers. Bumps p's subscription epoch
+  /// and notifies subscription watchers with MsgSubChange.
   void set_subscriptions(ProcessId p, std::vector<GroupId> groups);
+  /// The groups `p` registered (sorted ascending).
   std::vector<GroupId> subscriptions(ProcessId p) const;
+  /// How many times `p` changed its subscription set (0 = never set).
+  std::uint64_t subscription_epoch(ProcessId p) const;
   /// All processes that subscribed to `group`.
   std::vector<ProcessId> subscribers(GroupId group) const;
   /// Processes with exactly the same subscription set as p (including p).
   std::vector<ProcessId> partition_peers(ProcessId p) const;
+  /// Registers `watcher` for MsgSubChange notifications on every
+  /// subscription change of any process.
+  void watch_subscriptions(ProcessId watcher);
 
-  // --- metadata (partitioning schema etc.) ---
+  // --- versioned schemas (partitioning schema etc.) ---
+
+  /// Publishes a new value for schema `key`: bumps the key's version and
+  /// notifies schema watchers with MsgSchemaChange. Returns the new version.
+  std::uint64_t publish_schema(const std::string& key,
+                               const std::string& encoded);
+  /// The current versioned entry for `key` (version 0 if never published).
+  /// Synchronous read — models the ZK client's cached read path.
+  const SchemaEntry& schema(const std::string& key) const;
+  /// Registers `watcher` for MsgSchemaChange on `key`; the current entry is
+  /// sent immediately if one exists.
+  void watch_schema(const std::string& key, ProcessId watcher);
+
+  // --- legacy unversioned metadata ---
   void set_meta(const std::string& key, const std::string& value);
   std::string get_meta(const std::string& key) const;
 
@@ -103,10 +185,15 @@ class Registry {
     std::set<ProcessId> watchers;
     std::set<ProcessId> notified;  // watchers already at view.epoch
   };
+  struct SchemaState {
+    SchemaEntry entry;
+    std::set<ProcessId> watchers;
+  };
 
   void poll();
   void recompute(RingState& rs);
   void notify(RingState& rs);
+  void bump_view(RingState& rs);
   static RingView build_view(const RingConfig& cfg,
                              const std::set<ProcessId>& alive,
                              std::uint64_t epoch, ProcessId sticky_coord);
@@ -115,6 +202,9 @@ class Registry {
   TimeNs fd_interval_;
   std::map<GroupId, RingState> rings_;
   std::map<ProcessId, std::vector<GroupId>> subscriptions_;
+  std::map<ProcessId, std::uint64_t> sub_epochs_;
+  std::set<ProcessId> sub_watchers_;
+  std::map<std::string, SchemaState> schemas_;
   std::map<std::string, std::string> meta_;
 };
 

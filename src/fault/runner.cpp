@@ -50,6 +50,11 @@ void ScenarioRunner::add_invariant(const std::string& name, CheckFn check) {
   checks_.emplace_back(name, std::move(check));
 }
 
+void ScenarioRunner::attach_now(ProcessId pid) {
+  watched_.insert(pid);
+  attach(pid);
+}
+
 void ScenarioRunner::attach(ProcessId pid) {
   auto* node = env_.process_as<multiring::MultiRingNode>(pid);
   node->set_delivery_observer(

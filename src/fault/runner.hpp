@@ -78,6 +78,12 @@ class ScenarioRunner {
   /// Scenario-specific invariant evaluated after the drain.
   void add_invariant(const std::string& name, CheckFn check);
 
+  /// Attaches the runner's delivery observer to a process spawned *during*
+  /// the run (scale-out replicas): call from a scheduled callback right
+  /// after spawning. The pid should also appear in a watch_group so its
+  /// sequences join the merge-determinism and digest checks.
+  void attach_now(ProcessId pid);
+
   /// Called once when the workload phase ends (before the drain); stop
   /// clients here.
   void set_quiesce(std::function<void()> fn) { quiesce_ = std::move(fn); }

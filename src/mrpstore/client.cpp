@@ -59,13 +59,20 @@ smr::Request StoreClient::scan(const std::string& lo, const std::string& hi,
   op.key = lo;
   op.key_hi = hi;
   op.limit = limit_per_partition;
+  // Stamp the routing version: a replica on a newer ordered schema rejects
+  // the scan (kStaleRouting) instead of letting it silently miss a key
+  // range that moved to a partition this request never addressed.
+  op.schema_version = deployment_.schema_version;
 
   smr::Request req;
   req.op = encode_op(op);
 
-  const std::vector<int> parts =
-      deployment_.partitioner->partitions_for_range(lo, hi);
-  MRP_CHECK(!parts.empty());
+  std::vector<int> parts = deployment_.partitioner->partitions_for_range(lo, hi);
+  if (parts.empty()) {
+    // Empty range ([lo, hi) with hi <= lo): still a well-formed request —
+    // route it to lo's owner, which answers with zero entries.
+    parts.push_back(deployment_.partitioner->partition_for_key(lo));
+  }
 
   if (deployment_.global_group >= 0) {
     // One multicast on the global ring; every partition delivers and
@@ -84,6 +91,39 @@ smr::Request StoreClient::scan(const std::string& lo, const std::string& hi,
     req.expected_partitions = parts.size();
   }
   return req;
+}
+
+void StoreClient::refresh(const coord::Registry& registry) {
+  deployment_.refresh(registry);
+}
+
+smr::ClientNode::RerouteFn StoreClient::reroute_fn(
+    const coord::Registry* registry) {
+  MRP_CHECK(registry != nullptr);
+  return [this, registry](
+             const smr::Completion& c) -> std::optional<smr::Request> {
+    bool stale = false;
+    for (const auto& [tag, bytes] : c.results) {
+      (void)tag;
+      if (decode_result(bytes).status == Status::kStaleRouting) {
+        stale = true;
+        break;
+      }
+    }
+    if (!stale) return std::nullopt;
+    refresh(*registry);
+    Op op = decode_op(c.op);
+    switch (op.type) {
+      case OpType::kScan:
+        // Rebuilt under the refreshed schema: covers (and re-stamps) the
+        // new partition layout.
+        return scan(op.key, op.key_hi, op.limit);
+      case OpType::kSplit:
+        return std::nullopt;
+      default:
+        return single_key(std::move(op));
+    }
+  };
 }
 
 Result StoreClient::merge_scan(const std::map<int, Bytes>& replies,

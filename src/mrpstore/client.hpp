@@ -1,10 +1,16 @@
 // Client-side request routing for MRP-Store.
 //
-// Clients know the partitioning schema (from the registry metadata) and send
-// each command to a proposer (replica) of the owning partition's ring.
-// Single-key operations target one partition; scans either ride the global
-// ring (one multicast, ordered across partitions) or fan out to each
-// possibly-overlapping partition ("independent rings" configuration).
+// Clients know the partitioning schema (from the registry's versioned
+// schema store) and send each command to a proposer (replica) of the owning
+// partition's ring. Single-key operations target one partition; scans either
+// ride the global ring (one multicast, ordered across partitions) or fan out
+// to each possibly-overlapping partition ("independent rings" configuration).
+//
+// The schema is dynamic: after an online split, a request routed with a
+// stale schema earns a kStaleRouting reply. reroute_fn() wires the recovery
+// loop into an smr::ClientNode — refresh the schema from the registry,
+// rebuild the request under the new routing, retry (the paper's
+// "client re-reads the schema from Zookeeper" behavior).
 #pragma once
 
 #include <string>
@@ -28,6 +34,15 @@ class StoreClient {
   /// Merges per-partition scan replies into one sorted entry list.
   static Result merge_scan(const std::map<int, Bytes>& replies,
                            std::uint32_t limit = 0);
+
+  /// Re-reads the versioned schema from the registry and adopts it if newer.
+  void refresh(const coord::Registry& registry);
+
+  /// Builds the stale-routing retry hook for an smr::ClientNode: when a
+  /// single-key operation completes with kStaleRouting, refresh the schema
+  /// from `registry` and hand back the same operation re-routed under the
+  /// new partition layout. `registry` and this client must outlive the node.
+  smr::ClientNode::RerouteFn reroute_fn(const coord::Registry* registry);
 
   const StoreDeployment& deployment() const { return deployment_; }
 

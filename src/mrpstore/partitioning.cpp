@@ -16,6 +16,11 @@ std::uint64_t fnv1a(std::string_view s) {
   }
   return h;
 }
+
+/// [lo, hi) is empty when hi is a real bound (non-open) and hi <= lo.
+bool empty_range(std::string_view lo, std::string_view hi) {
+  return !hi.empty() && hi <= lo;
+}
 }  // namespace
 
 HashPartitioner::HashPartitioner(std::size_t partitions)
@@ -28,7 +33,8 @@ int HashPartitioner::partition_for_key(std::string_view key) const {
 }
 
 std::vector<int> HashPartitioner::partitions_for_range(
-    std::string_view /*lo*/, std::string_view /*hi*/) const {
+    std::string_view lo, std::string_view hi) const {
+  if (empty_range(lo, hi)) return {};
   std::vector<int> all(partitions_);
   for (std::size_t i = 0; i < partitions_; ++i) all[i] = static_cast<int>(i);
   return all;
@@ -42,6 +48,9 @@ RangePartitioner::RangePartitioner(std::vector<std::string> splits)
     : splits_(std::move(splits)) {
   MRP_CHECK_MSG(std::is_sorted(splits_.begin(), splits_.end()),
                 "range splits must be sorted");
+  MRP_CHECK_MSG(std::adjacent_find(splits_.begin(), splits_.end()) ==
+                    splits_.end(),
+                "range splits must be distinct");
 }
 
 int RangePartitioner::partition_for_key(std::string_view key) const {
@@ -51,6 +60,7 @@ int RangePartitioner::partition_for_key(std::string_view key) const {
 
 std::vector<int> RangePartitioner::partitions_for_range(
     std::string_view lo, std::string_view hi) const {
+  if (empty_range(lo, hi)) return {};
   const int first = partition_for_key(lo);
   int last = static_cast<int>(splits_.size());
   if (!hi.empty()) {
@@ -106,6 +116,84 @@ std::unique_ptr<Partitioner> Partitioner::decode(const std::string& encoded) {
   }
   MRP_CHECK_MSG(false, "unknown partitioner encoding");
   return nullptr;
+}
+
+GroupId PartitionSchema::group_for_key(std::string_view key) const {
+  MRP_CHECK(partitioner != nullptr);
+  const auto p = static_cast<std::size_t>(partitioner->partition_for_key(key));
+  MRP_CHECK(p < groups.size());
+  return groups[p];
+}
+
+int PartitionSchema::index_of_group(GroupId group) const {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i] == group) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string PartitionSchema::encode() const {
+  MRP_CHECK(partitioner != nullptr);
+  MRP_CHECK(groups.size() == replicas.size());
+  MRP_CHECK(groups.size() == partitioner->partition_count());
+  // Text format: fields separated by ';', partitions by '|', pids by ','.
+  // Partitioner encodings use only [a-z0-9:] so the separators are safe.
+  std::string out = "v=" + std::to_string(version);
+  out += ";p=" + partitioner->encode();
+  out += ";global=" + std::to_string(global_group);
+  out += ";parts=";
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) out += '|';
+    out += std::to_string(groups[i]) + ':';
+    for (std::size_t r = 0; r < replicas[i].size(); ++r) {
+      if (r > 0) out += ',';
+      out += std::to_string(replicas[i][r]);
+    }
+  }
+  return out;
+}
+
+PartitionSchema PartitionSchema::decode(const std::string& encoded) {
+  auto field = [&encoded](const std::string& name) -> std::string {
+    const std::string tag = name + "=";
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t end = encoded.find(';', pos);
+      const std::string part = encoded.substr(
+          pos, end == std::string::npos ? std::string::npos : end - pos);
+      if (part.rfind(tag, 0) == 0) return part.substr(tag.size());
+      MRP_CHECK_MSG(end != std::string::npos, "schema field missing");
+      pos = end + 1;
+    }
+  };
+  PartitionSchema s;
+  s.version = std::stoull(field("v"));
+  s.partitioner = std::shared_ptr<Partitioner>(Partitioner::decode(field("p")));
+  s.global_group = static_cast<GroupId>(std::stol(field("global")));
+  const std::string parts = field("parts");
+  std::size_t pos = 0;
+  while (pos < parts.size()) {
+    std::size_t end = parts.find('|', pos);
+    if (end == std::string::npos) end = parts.size();
+    const std::string part = parts.substr(pos, end - pos);
+    const std::size_t colon = part.find(':');
+    MRP_CHECK_MSG(colon != std::string::npos, "malformed schema partition");
+    s.groups.push_back(static_cast<GroupId>(std::stol(part.substr(0, colon))));
+    std::vector<ProcessId> pids;
+    std::size_t rpos = colon + 1;
+    while (rpos < part.size()) {
+      std::size_t rend = part.find(',', rpos);
+      if (rend == std::string::npos) rend = part.size();
+      pids.push_back(
+          static_cast<ProcessId>(std::stol(part.substr(rpos, rend - rpos))));
+      rpos = rend + 1;
+    }
+    s.replicas.push_back(std::move(pids));
+    pos = end + 1;
+  }
+  MRP_CHECK_MSG(s.groups.size() == s.partitioner->partition_count(),
+                "schema group count does not match partitioner");
+  return s;
 }
 
 }  // namespace mrp::mrpstore

@@ -1,9 +1,14 @@
-// MRP-Store partitioning schemes (Section 6.1).
+// MRP-Store partitioning schemes (Section 6.1) and the versioned partition
+// schema.
 //
 // The database is divided into partitions, each responsible for a subset of
 // the key space; applications choose hash- or range-partitioning and clients
-// must know the schema (the paper stores it in Zookeeper — here it is
-// serialized into the coordination registry's metadata).
+// must know the schema (the paper stores it in Zookeeper — here it is a
+// versioned entry in the coordination registry, so it can change while the
+// store serves traffic). A PartitionSchema binds a partitioner to the
+// multicast groups and replica processes serving each partition; bumping its
+// version and republishing is how online scale-out becomes visible to
+// clients and replicas.
 #pragma once
 
 #include <memory>
@@ -19,13 +24,15 @@ class Partitioner {
  public:
   virtual ~Partitioner() = default;
 
+  /// Number of partitions this schema routes to.
   virtual std::size_t partition_count() const = 0;
 
   /// Partition index owning `key`.
   virtual int partition_for_key(std::string_view key) const = 0;
 
   /// Partition indexes that may hold keys in [lo, hi). For hash partitioning
-  /// that is every partition; range partitioning narrows it down.
+  /// that is every partition; range partitioning narrows it down. An empty
+  /// range (hi non-open and hi <= lo) yields an empty vector.
   virtual std::vector<int> partitions_for_range(std::string_view lo,
                                                 std::string_view hi) const = 0;
 
@@ -37,7 +44,9 @@ class Partitioner {
 };
 
 /// FNV-hash based partitioning: uniform spread, range scans hit every
-/// partition.
+/// partition. Hash schemas cannot scale out online: growing the modulus
+/// moves keys between existing partitions, which the split protocol
+/// (one-way transfer into the new partition) does not allow.
 class HashPartitioner final : public Partitioner {
  public:
   explicit HashPartitioner(std::size_t partitions);
@@ -54,7 +63,9 @@ class HashPartitioner final : public Partitioner {
 
 /// Range partitioning by split points: partition i holds keys in
 /// [splits[i-1], splits[i]) with open ends; scans touch only overlapping
-/// partitions.
+/// partitions. Range schemas support online splits: inserting a new split
+/// point moves one contiguous sub-range into a new partition and leaves
+/// every other partition's ownership untouched.
 class RangePartitioner final : public Partitioner {
  public:
   /// `splits` are the partition boundaries (size = partitions - 1, sorted).
@@ -66,8 +77,38 @@ class RangePartitioner final : public Partitioner {
                                         std::string_view hi) const override;
   std::string encode() const override;
 
+  /// The partition boundaries (the split driver derives successor schemas
+  /// from these).
+  const std::vector<std::string>& splits() const { return splits_; }
+
  private:
   std::vector<std::string> splits_;
 };
+
+/// The full versioned routing state of a store deployment: which partitioner
+/// is current, which multicast group serves each partition, which replica
+/// processes serve each group, and the optional global (scan) group.
+/// Published to the coordination registry under kStoreSchemaKey; replicas
+/// adopt successor versions through an *ordered* split command (never from
+/// the registry watch directly), which keeps validation deterministic across
+/// a partition's replicas.
+struct PartitionSchema {
+  std::uint64_t version = 0;
+  std::shared_ptr<Partitioner> partitioner;
+  std::vector<GroupId> groups;                   ///< group of partition i
+  std::vector<std::vector<ProcessId>> replicas;  ///< replicas of partition i
+  GroupId global_group = -1;                     ///< -1 = independent rings
+
+  /// Multicast group owning `key` under this schema.
+  GroupId group_for_key(std::string_view key) const;
+  /// Index of `group` in `groups`, or -1 when not a partition group.
+  int index_of_group(GroupId group) const;
+
+  std::string encode() const;
+  static PartitionSchema decode(const std::string& encoded);
+};
+
+/// Registry schema key under which the store publishes its PartitionSchema.
+inline constexpr const char* kStoreSchemaKey = "mrpstore/schema";
 
 }  // namespace mrp::mrpstore

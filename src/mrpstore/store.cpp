@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "mrpstore/elastic.hpp"
 
 namespace mrp::mrpstore {
 
@@ -21,6 +22,11 @@ Bytes encode_op(const Op& op) {
     case OpType::kScan:
       w.str(op.key_hi);
       w.u32(op.limit);
+      w.u64(op.schema_version);
+      break;
+    case OpType::kSplit:
+      w.str(op.schema);
+      w.u32(static_cast<std::uint32_t>(op.split_group));
       break;
   }
   return w.take();
@@ -42,6 +48,11 @@ Op decode_op(const Bytes& data) {
     case OpType::kScan:
       op.key_hi = r.str();
       op.limit = r.u32();
+      op.schema_version = r.u64();
+      break;
+    case OpType::kSplit:
+      op.schema = r.str();
+      op.split_group = static_cast<GroupId>(r.u32());
       break;
   }
   r.expect_done();
@@ -75,13 +86,28 @@ Result decode_result(const Bytes& data) {
   return res;
 }
 
-Bytes KvStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
+Bytes KvStateMachine::apply(GroupId group, const Bytes& encoded) {
   // Decoded in place (same layout as decode_op): key and value are views
   // into the multicast payload, which outlives this call; only state the
   // machine retains (inserted/updated values) is copied.
   codec::Reader r(encoded);
   const auto type = static_cast<OpType>(r.u8());
   const std::string_view key = r.str_view();
+
+  // Stale-routing detection: single-key operations arriving on a partition
+  // group that no longer owns the key under the replica's *ordered* schema
+  // are rejected, telling the client to refresh and re-route. The schema
+  // only changes through ordered kSplit commands, so every replica of the
+  // partition flips at the same point of the delivery sequence.
+  if (schema_.version > 0 && group != schema_.global_group &&
+      (type == OpType::kRead || type == OpType::kUpdate ||
+       type == OpType::kInsert || type == OpType::kDelete) &&
+      schema_.group_for_key(key) != group) {
+    Result stale;
+    stale.status = Status::kStaleRouting;
+    return encode_result(stale);
+  }
+
   Result res;
   switch (type) {
     case OpType::kRead: {
@@ -125,6 +151,16 @@ Bytes KvStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
     case OpType::kScan: {
       const std::string_view key_hi = r.str_view();
       const std::uint32_t raw_limit = r.u32();
+      const std::uint64_t client_version = r.u64();
+      // A versioned scan routed with an older schema fanned out before a
+      // split: parts of its range may have moved to a partition it never
+      // addressed. Reject it (deterministically — the replica's version
+      // only changes through ordered kSplit commands) so the client
+      // refreshes instead of silently missing the moved range.
+      if (client_version > 0 && schema_.version > client_version) {
+        res.status = Status::kStaleRouting;
+        break;
+      }
       const std::uint32_t limit = raw_limit == 0 ? ~0u : raw_limit;
       auto it = data_.lower_bound(key);
       while (it != data_.end() && res.entries.size() < limit) {
@@ -134,9 +170,90 @@ Bytes KvStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
       }
       break;
     }
+    case OpType::kSplit: {
+      const std::string_view enc = r.str_view();
+      const auto target = static_cast<GroupId>(r.u32());
+      r.expect_done();
+      return apply_split(group, enc, target);
+    }
   }
   r.expect_done();
   return encode_result(res);
+}
+
+Bytes KvStateMachine::apply_split(GroupId group, std::string_view encoded_schema,
+                                  GroupId split_group) {
+  Result res;
+  PartitionSchema next = PartitionSchema::decode(std::string(encoded_schema));
+  if (next.version <= schema_.version) {
+    // Deterministic replay / duplicate: already adopted.
+    res.value = to_bytes("0");
+    return encode_result(res);
+  }
+
+  // Extract the entries that leave this partition under the successor
+  // schema. std::map iteration order makes the handoff encoding identical
+  // on every replica of the partition.
+  std::vector<std::map<std::string, Bytes, std::less<>>::iterator> movers;
+  for (auto it = data_.begin(); it != data_.end(); ++it) {
+    const GroupId owner = next.group_for_key(it->first);
+    if (owner == group) continue;
+    MRP_CHECK_MSG(owner == split_group,
+                  "split may only move keys into the new partition");
+    movers.push_back(it);
+  }
+  codec::Writer w;
+  w.u64(next.version);
+  w.u32(static_cast<std::uint32_t>(group));
+  w.str(std::string(encoded_schema));
+  w.varint(movers.size());
+  for (auto it : movers) {
+    w.str(it->first);
+    w.bytes(it->second);
+  }
+  for (auto it : movers) data_.erase(it);
+
+  HandoffPiece& piece = handoffs_[next.version];
+  piece.target = split_group;
+  piece.source = group;
+  piece.state = w.take();
+  piece.tuple.clear();  // the replica node stamps the merge position
+  schema_ = std::move(next);
+
+  res.value = to_bytes(std::to_string(movers.size()));
+  return encode_result(res);
+}
+
+void KvStateMachine::set_schema(PartitionSchema schema) {
+  schema_ = std::move(schema);
+}
+
+const KvStateMachine::HandoffPiece* KvStateMachine::handoff(
+    std::uint64_t version) const {
+  auto it = handoffs_.find(version);
+  return it == handoffs_.end() ? nullptr : &it->second;
+}
+
+void KvStateMachine::set_handoff_tuple(std::uint64_t version,
+                                       storage::CheckpointTuple t) {
+  auto it = handoffs_.find(version);
+  MRP_CHECK_MSG(it != handoffs_.end(), "no handoff for this version");
+  it->second.tuple = std::move(t);
+}
+
+void KvStateMachine::install_handoff(const Bytes& piece) {
+  codec::Reader r(piece);
+  const std::uint64_t version = r.u64();
+  r.u32();  // source group (informational)
+  const std::string enc = r.str();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    Bytes v = r.bytes();
+    data_[std::move(k)] = std::move(v);
+  }
+  r.expect_done();
+  if (version > schema_.version) schema_ = PartitionSchema::decode(enc);
 }
 
 Bytes KvStateMachine::snapshot() const {
@@ -145,6 +262,21 @@ Bytes KvStateMachine::snapshot() const {
   for (const auto& [k, v] : data_) {
     w.str(k);
     w.bytes(v);
+  }
+  // Routing and state-transfer state are replicated state too: a recovered
+  // replica must validate routes and serve handoffs exactly like its peers.
+  w.str(schema_.version > 0 ? schema_.encode() : std::string{});
+  w.varint(handoffs_.size());
+  for (const auto& [version, piece] : handoffs_) {
+    w.u64(version);
+    w.u32(static_cast<std::uint32_t>(piece.target));
+    w.u32(static_cast<std::uint32_t>(piece.source));
+    w.bytes(piece.state);
+    w.varint(piece.tuple.size());
+    for (const auto& [g, inst] : piece.tuple) {
+      w.u32(static_cast<std::uint32_t>(g));
+      w.u64(inst);
+    }
   }
   return w.take();
 }
@@ -157,6 +289,22 @@ void KvStateMachine::restore(const Bytes& snapshot) {
     std::string k = r.str();
     Bytes v = r.bytes();
     data_.emplace(std::move(k), std::move(v));
+  }
+  const std::string enc = r.str();
+  schema_ = enc.empty() ? PartitionSchema{} : PartitionSchema::decode(enc);
+  handoffs_.clear();
+  const std::uint64_t hn = r.varint();
+  for (std::uint64_t i = 0; i < hn; ++i) {
+    const std::uint64_t version = r.u64();
+    HandoffPiece& piece = handoffs_[version];
+    piece.target = static_cast<GroupId>(r.u32());
+    piece.source = static_cast<GroupId>(r.u32());
+    piece.state = r.bytes();
+    const std::uint64_t tn = r.varint();
+    for (std::uint64_t t = 0; t < tn; ++t) {
+      const auto g = static_cast<GroupId>(r.u32());
+      piece.tuple[g] = r.u64();
+    }
   }
   r.expect_done();
 }
@@ -184,6 +332,12 @@ std::uint64_t KvStateMachine::digest() const {
     mix(k.data(), k.size());
     mix(v.data(), v.size());
   }
+  // Replicas must agree on routing and state-transfer state, not just data.
+  mix(&schema_.version, sizeof(schema_.version));
+  for (const auto& [version, piece] : handoffs_) {
+    mix(&version, sizeof(version));
+    mix(piece.state.data(), piece.state.size());
+  }
   return h;
 }
 
@@ -193,6 +347,28 @@ std::vector<ProcessId> StoreDeployment::all_replicas() const {
     out.insert(out.end(), group.begin(), group.end());
   }
   return out;
+}
+
+PartitionSchema StoreDeployment::schema() const {
+  PartitionSchema s;
+  s.version = schema_version;
+  s.partitioner = partitioner;
+  s.groups = partition_groups;
+  s.replicas = replicas;
+  s.global_group = global_group;
+  return s;
+}
+
+void StoreDeployment::refresh(const coord::Registry& registry) {
+  const coord::SchemaEntry& entry = registry.schema(kStoreSchemaKey);
+  if (entry.version == 0) return;
+  PartitionSchema s = PartitionSchema::decode(entry.encoded);
+  if (s.version <= schema_version) return;
+  partitioner = s.partitioner;
+  partition_groups = s.groups;
+  replicas = s.replicas;
+  global_group = s.global_group;
+  schema_version = s.version;
 }
 
 std::uint64_t StoreDeployment::replica_digest(sim::Env& env,
@@ -217,7 +393,6 @@ StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
       options.partitioner.empty()
           ? HashPartitioner(options.partitions).encode()
           : options.partitioner));
-  registry.set_meta("mrpstore/partitioning", dep.partitioner->encode());
 
   ProcessId pid = options.first_pid;
   GroupId group = options.first_group;
@@ -232,6 +407,12 @@ StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
     dep.replicas.push_back(std::move(rs));
   }
   if (options.global_ring) dep.global_group = group++;
+
+  // Publish schema version 1 to the registry (the paper keeps the schema in
+  // Zookeeper); replicas are seeded with the same version at construction.
+  dep.schema_version = 1;
+  const std::string encoded_schema = dep.schema().encode();
+  registry.publish_schema(kStoreSchemaKey, encoded_schema);
 
   // Create the rings: partition ring members/acceptors are the partition's
   // replicas; the global ring spans every replica (all acceptors).
@@ -271,12 +452,14 @@ StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
     smr::ReplicaOptions ro = options.replica_options;
     ro.partition_tag = static_cast<int>(p);
     for (ProcessId r : dep.replicas[p]) {
-      env.spawn<smr::ReplicaNode>(
+      env.spawn<StoreReplicaNode>(
           r, &registry, cfg,
-          smr::StateMachineFactory([](sim::Env&, ProcessId) {
-            return std::make_unique<KvStateMachine>();
+          smr::StateMachineFactory([encoded_schema](sim::Env&, ProcessId) {
+            auto sm = std::make_unique<KvStateMachine>();
+            sm->set_schema(PartitionSchema::decode(encoded_schema));
+            return sm;
           }),
-          ro);
+          ro, ElasticOptions{});
     }
   }
   return dep;

@@ -9,7 +9,6 @@ namespace mrp::multiring {
 DeterministicMerger::DeterministicMerger(std::vector<GroupId> groups,
                                          std::uint32_t m, DeliverFn deliver)
     : groups_(std::move(groups)), m_(m), deliver_(std::move(deliver)) {
-  MRP_CHECK_MSG(!groups_.empty(), "merger needs at least one group");
   MRP_CHECK(m_ >= 1);
   MRP_CHECK(deliver_ != nullptr);
   std::sort(groups_.begin(), groups_.end());
@@ -19,11 +18,97 @@ DeterministicMerger::DeterministicMerger(std::vector<GroupId> groups,
   state_.resize(groups_.size());
 }
 
-DeterministicMerger::GroupState& DeterministicMerger::state_for(GroupId group) {
+DeterministicMerger::GroupState* DeterministicMerger::find_state(
+    GroupId group) {
   auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
-  MRP_CHECK_MSG(it != groups_.end() && *it == group,
-                "group not subscribed");
-  return state_[static_cast<std::size_t>(it - groups_.begin())];
+  if (it != groups_.end() && *it == group) {
+    return &state_[static_cast<std::size_t>(it - groups_.begin())];
+  }
+  for (auto& [g, gs] : pending_adds_) {
+    if (g == group) return &gs;
+  }
+  return nullptr;
+}
+
+DeterministicMerger::GroupState& DeterministicMerger::state_for(GroupId group) {
+  GroupState* gs = find_state(group);
+  MRP_CHECK_MSG(gs != nullptr, "group not subscribed");
+  return *gs;
+}
+
+void DeterministicMerger::add_group(GroupId group, InstanceId start_instance) {
+  MRP_CHECK_MSG(find_state(group) == nullptr, "group already subscribed");
+  GroupState gs;
+  gs.next = start_instance;
+  if (!pumping_ && at_round_boundary()) {
+    // Already between rounds: activate immediately (the construction-time /
+    // bootstrap path).
+    auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+    state_.insert(state_.begin() + (it - groups_.begin()), std::move(gs));
+    groups_.insert(it, group);
+    return;
+  }
+  pending_adds_.emplace_back(group, std::move(gs));
+}
+
+void DeterministicMerger::remove_group(GroupId group) {
+  for (auto it = pending_adds_.begin(); it != pending_adds_.end(); ++it) {
+    if (it->first == group) {
+      pending_adds_.erase(it);  // never activated: nothing to retire
+      return;
+    }
+  }
+  auto it = std::lower_bound(groups_.begin(), groups_.end(), group);
+  MRP_CHECK_MSG(it != groups_.end() && *it == group, "group not subscribed");
+  if (!pumping_ && at_round_boundary()) {
+    state_.erase(state_.begin() + (it - groups_.begin()));
+    groups_.erase(it);
+    return;
+  }
+  MRP_CHECK_MSG(std::find(pending_removes_.begin(), pending_removes_.end(),
+                          group) == pending_removes_.end(),
+                "group already retiring");
+  pending_removes_.push_back(group);
+  pump();  // retire right away if the cursor already sits on the group
+}
+
+void DeterministicMerger::apply_pending_adds() {
+  for (auto& [g, gs] : pending_adds_) {
+    auto it = std::lower_bound(groups_.begin(), groups_.end(), g);
+    state_.insert(state_.begin() + (it - groups_.begin()), std::move(gs));
+    groups_.insert(it, g);
+  }
+  pending_adds_.clear();
+}
+
+bool DeterministicMerger::marked_for_removal(GroupId group) const {
+  return std::find(pending_removes_.begin(), pending_removes_.end(), group) !=
+         pending_removes_.end();
+}
+
+void DeterministicMerger::cross_boundary() {
+  ++rounds_;
+  if (!pending_adds_.empty()) apply_pending_adds();
+  if (on_boundary_) on_boundary_();
+}
+
+void DeterministicMerger::retire_marked_at_cursor() {
+  // A retiring group leaves the rotation the moment its turn (re-)arrives:
+  // it owes no further quota, so a stream whose handler already detached
+  // cannot stall the merge. Deterministic because the mark itself was
+  // placed at an agreed point of the merged sequence.
+  while (!groups_.empty() && marked_for_removal(groups_[cursor_])) {
+    pending_removes_.erase(std::find(pending_removes_.begin(),
+                                     pending_removes_.end(),
+                                     groups_[cursor_]));
+    state_.erase(state_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    consumed_ = 0;
+    if (cursor_ >= groups_.size()) {
+      cursor_ = 0;
+      cross_boundary();
+    }
+  }
 }
 
 void DeterministicMerger::on_decision(GroupId group, InstanceId instance,
@@ -54,6 +139,8 @@ void DeterministicMerger::pump() {
   if (paused_ || pumping_) return;
   pumping_ = true;
   for (;;) {
+    if (!pending_removes_.empty()) retire_marked_at_cursor();
+    if (groups_.empty()) break;
     GroupState& gs = state_[cursor_];
     if (gs.queue.empty()) break;  // stalled on this group
     auto& [instance, value] = gs.queue.front();
@@ -82,7 +169,12 @@ void DeterministicMerger::pump() {
     if (consumed_ >= m_) {
       consumed_ = 0;
       cursor_ = (cursor_ + 1) % groups_.size();
-      if (cursor_ == 0 && on_boundary_) on_boundary_();
+      if (cursor_ == 0) {
+        // A full round completed: activations queued mid-round splice in at
+        // the boundary (the one agreement point every partition peer
+        // shares), then the boundary is reported.
+        cross_boundary();
+      }
     }
     if (paused_) break;
   }
@@ -112,9 +204,12 @@ storage::CheckpointTuple DeterministicMerger::tuple() const {
 }
 
 void DeterministicMerger::install_tuple(const storage::CheckpointTuple& t) {
-  MRP_CHECK_MSG(t.size() == state_.size(), "tuple/subscription mismatch");
   for (const auto& [g, next] : t) {
-    GroupState& gs = state_for(g);
+    // Tolerate entries for groups this merger no longer (or does not yet)
+    // track: a checkpoint can predate a retirement or an activation.
+    GroupState* gsp = find_state(g);
+    if (gsp == nullptr) continue;
+    GroupState& gs = *gsp;
     gs.front_consumed = 0;
     while (!gs.queue.empty()) {
       const auto& [instance, value] = gs.queue.front();
@@ -132,6 +227,19 @@ void DeterministicMerger::install_tuple(const storage::CheckpointTuple& t) {
   }
   cursor_ = 0;
   consumed_ = 0;
+  // Installing a tuple lands the merger on a round boundary: queued
+  // subscription changes take effect here (the bootstrap path of a joiner).
+  if (!pumping_) {
+    while (!pending_removes_.empty()) {
+      const GroupId g = pending_removes_.back();
+      pending_removes_.pop_back();
+      auto it = std::lower_bound(groups_.begin(), groups_.end(), g);
+      MRP_CHECK(it != groups_.end() && *it == g);
+      state_.erase(state_.begin() + (it - groups_.begin()));
+      groups_.erase(it);
+    }
+    if (!pending_adds_.empty()) apply_pending_adds();
+  }
   pump();
 }
 

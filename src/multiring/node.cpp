@@ -7,10 +7,18 @@
 
 namespace mrp::multiring {
 
+namespace {
+constexpr const char* kStableConfigKey = "multiring/config";
+}  // namespace
+
 MultiRingNode::MultiRingNode(sim::Env& env, ProcessId id,
                              coord::Registry* registry, NodeConfig config)
     : sim::Process(env, id), registry_(registry), config_(std::move(config)) {
   MRP_CHECK(registry_ != nullptr);
+  // Dynamic attach/detach calls persist the effective configuration; a
+  // recovered node resumes from it rather than the spawn-time snapshot.
+  const NodeConfig& saved = env.stable<NodeConfig>(id, kStableConfigKey);
+  if (!saved.rings.empty()) config_ = saved;
   MRP_CHECK_MSG(!config_.rings.empty(), "node participates in no ring");
 
   std::vector<GroupId> learner_groups;
@@ -20,27 +28,96 @@ MultiRingNode::MultiRingNode(sim::Env& env, ProcessId id,
 
   if (!learner_groups.empty()) {
     merger_ = std::make_unique<DeterministicMerger>(
-        learner_groups, config_.merge_m,
+        std::vector<GroupId>{}, config_.merge_m,
         [this](GroupId g, InstanceId i, const paxos::Value& v) {
           deliver_merged(g, i, v);
         });
+    // Activate each group at its persisted bootstrap position (0 unless the
+    // group was attached mid-stream): a recovered node re-enters the merge
+    // where its partition peers spliced it in.
+    for (GroupId g : learner_groups) merger_->add_group(g, start_of(g));
     registry_->set_subscriptions(id, learner_groups);
   }
 
   for (const RingSub& sub : config_.rings) {
     MRP_CHECK_MSG(handlers_.find(sub.group) == handlers_.end(),
                   "duplicate ring in node config");
-    const bool learner = sub.learner;
-    auto handler = std::make_unique<ringpaxos::RingHandler>(
-        *this, *registry_, sub.group, sub.params,
-        [this, learner](GroupId g, InstanceId i, const paxos::Value& v) {
-          if (learner) merger_->on_decision(g, i, v);
-        });
-    handler->set_trimmed_gap_handler(
-        [this](GroupId g, InstanceId trimmed_to) {
-          on_trimmed_gap(g, trimmed_to);
-        });
-    handlers_[sub.group] = std::move(handler);
+    make_handler(sub);
+  }
+}
+
+InstanceId MultiRingNode::start_of(GroupId group) const {
+  auto it = config_.start_instances.find(group);
+  return it == config_.start_instances.end() ? 0 : it->second;
+}
+
+void MultiRingNode::make_handler(const RingSub& sub) {
+  const bool learner = sub.learner;
+  auto handler = std::make_unique<ringpaxos::RingHandler>(
+      *this, *registry_, sub.group, sub.params,
+      [this, learner](GroupId g, InstanceId i, const paxos::Value& v) {
+        if (learner) merger_->on_decision(g, i, v);
+      });
+  handler->set_trimmed_gap_handler(
+      [this](GroupId g, InstanceId trimmed_to) {
+        on_trimmed_gap(g, trimmed_to);
+      });
+  if (const InstanceId start = start_of(sub.group); start > 0) {
+    // Mid-stream joiner: instances below the bootstrap position are covered
+    // by installed state — don't retransmit them.
+    handler->set_delivery_floor(start);
+  }
+  handlers_[sub.group] = std::move(handler);
+}
+
+void MultiRingNode::persist_config() {
+  env().stable<NodeConfig>(id(), kStableConfigKey) = config_;
+}
+
+void MultiRingNode::publish_subscriptions() {
+  registry_->set_subscriptions(id(), subscribed_groups());
+}
+
+void MultiRingNode::attach_ring(const RingSub& sub, InstanceId start_instance) {
+  MRP_CHECK_MSG(handlers_.find(sub.group) == handlers_.end(),
+                "already joined this ring");
+  config_.rings.push_back(sub);
+  if (start_instance > 0) config_.start_instances[sub.group] = start_instance;
+  persist_config();
+  if (sub.learner) {
+    if (!merger_) {
+      merger_ = std::make_unique<DeterministicMerger>(
+          std::vector<GroupId>{}, config_.merge_m,
+          [this](GroupId g, InstanceId i, const paxos::Value& v) {
+            deliver_merged(g, i, v);
+          });
+    }
+    merger_->add_group(sub.group, start_instance);
+    publish_subscriptions();
+  }
+  make_handler(sub);
+}
+
+void MultiRingNode::detach_ring(GroupId group) {
+  auto it = handlers_.find(group);
+  MRP_CHECK_MSG(it != handlers_.end(), "not joined to this ring");
+  it->second->detach();
+  retired_.push_back(std::move(it->second));
+  handlers_.erase(it);
+
+  bool was_learner = false;
+  for (auto cit = config_.rings.begin(); cit != config_.rings.end(); ++cit) {
+    if (cit->group == group) {
+      was_learner = cit->learner;
+      config_.rings.erase(cit);
+      break;
+    }
+  }
+  config_.start_instances.erase(group);
+  persist_config();
+  if (was_learner) {
+    merger_->remove_group(group);
+    publish_subscriptions();
   }
 }
 

@@ -7,6 +7,12 @@
 // "inverted" group-addressing model: clients address one group per multicast
 // and each server subscribes to whichever groups it replicates.
 //
+// Ring participation is dynamic: attach_ring joins a ring (and, for
+// learners, splices its stream into the merge at the next round boundary),
+// detach_ring leaves one. The effective ring set survives crashes through a
+// stable-storage overlay of the node configuration, so a recovered node
+// re-creates the handlers it had dynamically acquired.
+//
 // Subclasses (smr::ReplicaNode, service nodes) override on_app_message for
 // their own message kinds and receive merged deliveries via set_deliver.
 #pragma once
@@ -16,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -35,10 +42,17 @@ struct RingSub {
 };
 
 /// Full node configuration; copyable so Env::spawn can re-create the node
-/// with identical configuration after a crash.
+/// with identical configuration after a crash. Dynamic attach/detach calls
+/// keep a crash-surviving copy in Env::stable, which overrides this at
+/// reconstruction.
 struct NodeConfig {
   std::vector<RingSub> rings;
   std::uint32_t merge_m = 1;  // M: instances per group per merge round
+  /// Bootstrap positions of learner groups joined mid-stream (attach_ring's
+  /// start_instance): part of the crash-surviving configuration so a
+  /// recovered node re-enters the merge at the position its partition peers
+  /// spliced it in at, not at instance 0.
+  std::map<GroupId, InstanceId> start_instances;
 };
 
 class MultiRingNode : public sim::Process {
@@ -70,13 +84,31 @@ class MultiRingNode : public sim::Process {
   /// Atomic multicast: propose `payload` to `group` (must be a joined ring).
   ValueId multicast(GroupId group, Payload payload);
 
+  /// Joins `sub.group` at runtime (ring-handler attach). For learner
+  /// subscriptions the group's decision stream enters the merge rotation at
+  /// the next merge-round boundary, expecting `start_instance` first — pass
+  /// a checkpoint-tuple entry when bootstrapping mid-stream. Deterministic
+  /// across a partition iff every peer calls it at the same point of the
+  /// merged sequence (e.g. while executing an ordered control command). The
+  /// change is persisted to stable storage and survives crashes. Ring
+  /// *membership* (registry order) is managed separately by the deployment
+  /// driver via Registry::add_ring_member.
+  void attach_ring(const RingSub& sub, InstanceId start_instance = 0);
+
+  /// Leaves `group`: the handler detaches (stops participating in the
+  /// ring), a learner stream retires from the merge at the next round
+  /// boundary, and the change is persisted to stable storage.
+  void detach_ring(GroupId group);
+
   /// The coordination service this node watches.
   coord::Registry& registry() { return *registry_; }
-  /// The node's (crash-surviving, copyable) configuration.
+  /// The node's effective (crash-surviving, copyable) configuration.
   const NodeConfig& config() const { return config_; }
-  /// This node's handler for `group`, or null if it has not joined the ring.
+  /// This node's handler for `group`, or null if it has not joined (or has
+  /// left) the ring.
   ringpaxos::RingHandler* handler(GroupId group);
-  /// The deterministic merger, or null if the node subscribes to no group.
+  /// The deterministic merger, or null if the node never subscribed to any
+  /// group.
   DeterministicMerger* merger() { return merger_.get(); }
   /// Groups this node delivers, sorted ascending (the merge order basis).
   std::vector<GroupId> subscribed_groups() const;
@@ -97,10 +129,18 @@ class MultiRingNode : public sim::Process {
  private:
   void deliver_merged(GroupId group, InstanceId instance,
                       const paxos::Value& v);
+  void make_handler(const RingSub& sub);
+  void persist_config();
+  void publish_subscriptions();
+  InstanceId start_of(GroupId group) const;
 
   coord::Registry* registry_;
   NodeConfig config_;
   std::map<GroupId, std::unique_ptr<ringpaxos::RingHandler>> handlers_;
+  // Detached handlers are kept alive (inert, timers stopped) until the
+  // process dies: in-flight epoch-guarded callbacks (acceptor-log writes)
+  // may still reference them. Bounded by the number of detach calls.
+  std::vector<std::unique_ptr<ringpaxos::RingHandler>> retired_;
   std::unique_ptr<DeterministicMerger> merger_;
   AppDeliverFn app_deliver_;
   DeliveryObserverFn observer_;

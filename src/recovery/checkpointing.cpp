@@ -108,9 +108,9 @@ void Checkpointer::install(const storage::Checkpoint& cp) {
   // which must already be positioned at the checkpoint tuple.
   node_.merger()->install_tuple(cp.next);
   for (const auto& [g, next] : cp.next) {
-    auto* h = node_.handler(g);
-    MRP_CHECK(h != nullptr);
-    h->set_delivery_floor(next);
+    // A checkpoint can mention a group the node has since detached from
+    // (dynamic subscriptions); only raise floors of live handlers.
+    if (auto* h = node_.handler(g)) h->set_delivery_floor(next);
   }
 }
 

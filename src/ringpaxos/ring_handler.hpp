@@ -85,6 +85,16 @@ class RingHandler {
 
   void set_trimmed_gap_handler(TrimmedGapFn fn) { on_trimmed_gap_ = std::move(fn); }
 
+  /// Detaches this handler from the ring: resigns any coordinator role,
+  /// stops watching the registry, and turns every message/timer path into a
+  /// no-op. The object stays alive (its periodic timers still fire inertly)
+  /// so the host can drop its reference without dangling callbacks — this
+  /// is the "leave a ring while the node keeps running" half of dynamic
+  /// subscriptions.
+  void detach();
+  /// True once detach() ran.
+  bool detached() const { return detached_; }
+
   /// Multicasts a payload to this ring's group. The value is forwarded along
   /// the ring to the coordinator and retried until a decision with its value
   /// id is observed.
@@ -181,6 +191,8 @@ class RingHandler {
   coord::RingView view_;
   std::unique_ptr<storage::AcceptorLog> log_;  // present iff configured acceptor
   bool configured_acceptor_ = false;
+  bool detached_ = false;
+  std::shared_ptr<bool> attached_;  // gates the periodic timer chains
   int configured_acceptor_index_ = -1;
 
   // Learner state: values seen (from Phase 2), decisions buffered until
@@ -193,6 +205,7 @@ class RingHandler {
   InstanceId pending_decision_hint_ = 0;  // highest decided instance heard + 1
   TimeNs last_progress_ = 0;
   bool retransmit_inflight_ = false;
+  std::size_t retransmit_cursor_ = 0;  // rotates over remote acceptors
 
   // Proposer state. The value-id sequence lives in the Env's crash-surviving
   // stable storage: ValueId uniqueness must hold across process restarts, or

@@ -38,12 +38,26 @@ RingHandler::RingHandler(sim::Process& host, coord::Registry& registry,
   if (view_.coordinator == host_.id()) become_coordinator();
 
   last_progress_ = host_.now();
-  host_.every(params_.gap_timeout, [this] { check_gap(); });
-  host_.every(params_.phase2_retry, [this] { retry_tick(); });
-  host_.every(params_.proposal_retry, [this] { proposal_retry_tick(); });
+  // Periodic timers are gated on the attached flag: detach() flips it and
+  // every chain stops re-arming (no perpetual no-op events from handlers
+  // that left their ring).
+  attached_ = std::make_shared<bool>(true);
+  host_.every_while(params_.gap_timeout, attached_, [this] { check_gap(); });
+  host_.every_while(params_.phase2_retry, attached_, [this] { retry_tick(); });
+  host_.every_while(params_.proposal_retry, attached_,
+                    [this] { proposal_retry_tick(); });
   if (params_.lambda > 0) {
-    host_.every(params_.skip_interval, [this] { rate_level_tick(); });
+    host_.every_while(params_.skip_interval, attached_,
+                      [this] { rate_level_tick(); });
   }
+}
+
+void RingHandler::detach() {
+  if (detached_) return;
+  if (coord_.active) resign_coordinator();
+  registry_.unwatch_ring(ring_, host_.id());
+  detached_ = true;
+  *attached_ = false;
 }
 
 bool RingHandler::is_coordinator() const {
@@ -75,6 +89,7 @@ ValueId RingHandler::next_value_id() {
 }
 
 ValueId RingHandler::propose(Payload payload) {
+  MRP_CHECK_MSG(!detached_, "propose on a detached ring handler");
   paxos::Value v;
   v.id = next_value_id();
   v.payload = std::move(payload);
@@ -119,6 +134,7 @@ void RingHandler::proposal_retry_tick() {
 }
 
 void RingHandler::handle(ProcessId from, const sim::Message& m) {
+  if (detached_) return;  // left the ring: drop late traffic
   switch (m.kind()) {
     case kMsgProposal:
       handle_proposal(sim::msg_cast<MsgProposal>(m));
@@ -151,6 +167,7 @@ void RingHandler::handle(ProcessId from, const sim::Message& m) {
 
 void RingHandler::on_view(const coord::RingView& v) {
   MRP_CHECK(v.ring == ring_);
+  if (detached_) return;
   if (v.epoch < view_.epoch) return;  // stale notification
   view_ = v;
   if (view_.coordinator == host_.id()) {
@@ -378,12 +395,19 @@ void RingHandler::request_retransmission(InstanceId hi) {
   req->ring = ring_;
   req->lo = next_delivery_;
   req->hi = hi;
-  // Prefer a remote acceptor; fall back to the local log.
+  // Rotate through the remote acceptors: an acceptor may hold the record of
+  // a needed instance without its decided mark (the decision notification
+  // can die between ring hops), so a fixed target could serve no progress
+  // forever while another acceptor — at least the quorum-crossing announcer
+  // — has the mark.
+  std::vector<ProcessId> candidates;
   for (ProcessId a : view_.acceptors) {
-    if (a == host_.id()) continue;
+    if (a != host_.id()) candidates.push_back(a);
+  }
+  if (!candidates.empty()) {
     retransmit_inflight_ = true;
     ++retransmissions_;
-    host_.send(a, req);
+    host_.send(candidates[retransmit_cursor_++ % candidates.size()], req);
     return;
   }
   if (log_) {
@@ -427,9 +451,14 @@ void RingHandler::handle_retransmit_reply(const MsgRetransmitReply& m) {
     if (on_trimmed_gap_) on_trimmed_gap_(ring_, m.trimmed_to);
     return;
   }
+  const InstanceId before = next_delivery_;
   for (const auto& [inst, value] : m.decided) learn(inst, value);
-  // Replies are chunked (max_retransmit_instances); chase the remainder.
-  if (pending_decision_hint_ > next_delivery_ && !m.decided.empty()) {
+  // Replies are chunked (max_retransmit_instances); chase the remainder —
+  // but only when this reply actually advanced delivery. A no-progress
+  // reply (the serving acceptor lacks the decided mark for the gap's first
+  // instance) must fall back to the gap timer, which rotates to another
+  // acceptor; chasing it would spin a request/reply loop.
+  if (pending_decision_hint_ > next_delivery_ && next_delivery_ > before) {
     request_retransmission(pending_decision_hint_);
   }
 }

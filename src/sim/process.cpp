@@ -27,6 +27,20 @@ void Process::rearm(TimeNs period, std::shared_ptr<Task> fn) {
   });
 }
 
+void Process::every_while(TimeNs period, std::shared_ptr<const bool> active,
+                          Task fn) {
+  rearm_while(period, std::move(active), std::make_shared<Task>(std::move(fn)));
+}
+
+void Process::rearm_while(TimeNs period, std::shared_ptr<const bool> active,
+                          std::shared_ptr<Task> fn) {
+  env_.schedule_guarded(id_, period, [this, period, active, fn] {
+    if (!*active) return;  // owner cancelled: the chain dies here
+    (*fn)();
+    rearm_while(period, active, fn);
+  });
+}
+
 Task Process::guard(Task fn) {
   return env_.make_guard(id_, std::move(fn));
 }

@@ -50,6 +50,13 @@ class Process {
   /// Repeating timer with fixed period, first firing after one period.
   void every(TimeNs period, Task fn);
 
+  /// Repeating timer gated on `active`: once *active turns false the chain
+  /// stops re-arming and fn is never invoked again — for timers owned by a
+  /// component (e.g. a detached ring handler) that can outlive its purpose
+  /// while the process keeps running.
+  void every_while(TimeNs period, std::shared_ptr<const bool> active,
+                   Task fn);
+
   /// Wraps fn so that it is a no-op if this process has crashed (or crashed
   /// and recovered) by the time it runs. Use for disk-completion callbacks.
   Task guard(Task fn);
@@ -70,6 +77,8 @@ class Process {
 
  private:
   void rearm(TimeNs period, std::shared_ptr<Task> fn);
+  void rearm_while(TimeNs period, std::shared_ptr<const bool> active,
+                   std::shared_ptr<Task> fn);
 
   Env& env_;
   ProcessId id_;

@@ -41,12 +41,17 @@ void ClientNode::issue_next(std::uint32_t worker) {
   if (stopped_) return;
   std::optional<Request> req = next_(worker);
   if (!req) return;  // worker retired
-  MRP_CHECK_MSG(!req->sends.empty(), "request with no sends");
+  issue_request(worker, std::move(*req), now());
+}
+
+void ClientNode::issue_request(std::uint32_t worker, Request req,
+                               TimeNs issued_at) {
+  MRP_CHECK_MSG(!req.sends.empty(), "request with no sends");
 
   Outstanding& o = workers_[worker];
-  o.request = std::move(*req);
+  o.request = std::move(req);
   o.seq = ++next_seq_;
-  o.issued_at = now();
+  o.issued_at = issued_at;
   o.results.clear();
   o.target_cursor.assign(o.request.sends.size(), 0);
   o.active = true;
@@ -102,15 +107,25 @@ void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
 
   o.active = false;
   const TimeNs latency = now() - o.issued_at;
+  Completion c;
+  c.worker = worker;
+  c.op = o.request.op;
+  c.results = o.results;
+  c.issued_at = o.issued_at;
+  c.latency = latency;
+  if (reroute_) {
+    // A stale-routing reply is not a completion: the hook refreshes its
+    // routing state and hands back a re-targeted request, which keeps the
+    // original issue time so end-to-end latency stays honest.
+    if (std::optional<Request> rerouted = reroute_(c)) {
+      ++reroutes_;
+      issue_request(worker, std::move(*rerouted), o.issued_at);
+      return;
+    }
+  }
   latency_.record(latency);
   ++completed_;
   if (done_) {
-    Completion c;
-    c.worker = worker;
-    c.op = o.request.op;
-    c.results = o.results;
-    c.issued_at = o.issued_at;
-    c.latency = latency;
     done_(c);
   }
   if (options_.think_time > latency) {

@@ -53,6 +53,12 @@ class ClientNode : public sim::Process {
   /// Returns the next request for `worker`, or nullopt to stop that worker.
   using NextFn = std::function<std::optional<Request>(std::uint32_t worker)>;
   using DoneFn = std::function<void(const Completion&)>;
+  /// Inspects a finished request before it is reported: returning a Request
+  /// re-issues it (fresh seq, original issue time kept) instead of
+  /// completing — the stale-routing retry path: a service layer detects a
+  /// "wrong partition" reply, refreshes its schema, and re-routes the same
+  /// operation.
+  using RerouteFn = std::function<std::optional<Request>(const Completion&)>;
 
   struct Options {
     std::uint32_t workers = 1;
@@ -69,11 +75,16 @@ class ClientNode : public sim::Process {
   ClientNode(sim::Env& env, ProcessId id, Options options, NextFn next,
              DoneFn done);
 
+  /// Installs the stale-routing retry hook (see RerouteFn).
+  void set_reroute(RerouteFn fn) { reroute_ = std::move(fn); }
+
   void on_start() override;
   void on_message(ProcessId from, const sim::Message& m) override;
 
   std::uint64_t completed() const { return completed_; }
   std::uint64_t retries() const { return retries_; }
+  /// Requests re-issued by the reroute hook (schema refreshes).
+  std::uint64_t reroutes() const { return reroutes_; }
   const Histogram& latency_histogram() const { return latency_; }
   Histogram& latency_histogram() { return latency_; }
 
@@ -91,16 +102,19 @@ class ClientNode : public sim::Process {
   };
 
   void issue_next(std::uint32_t worker);
+  void issue_request(std::uint32_t worker, Request req, TimeNs issued_at);
   void send_command(std::uint32_t worker, std::size_t send_index);
   void retry_check(std::uint32_t worker, std::uint64_t seq);
 
   Options options_;
   NextFn next_;
   DoneFn done_;
+  RerouteFn reroute_;
   std::vector<Outstanding> workers_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t reroutes_ = 0;
   bool stopped_ = false;
   Histogram latency_;
 };

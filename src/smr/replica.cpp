@@ -116,7 +116,7 @@ void ReplicaNode::execute(GroupId group, const Command& c) {
     }
     return;  // older duplicate: the client has moved on
   }
-  Bytes result = sm_->apply(group, c.op);
+  Bytes result = apply_command(group, c);
   ++executed_;
   s.last_seq = c.seq;
   s.last_reply = result;
@@ -127,6 +127,10 @@ void ReplicaNode::execute(GroupId group, const Command& c) {
   reply->partition_tag = options_.partition_tag;
   reply->result = std::move(result);
   send(session_client(c.session), reply);
+}
+
+Bytes ReplicaNode::apply_command(GroupId group, const Command& c) {
+  return sm_->apply(group, c.op);
 }
 
 Bytes ReplicaNode::snapshot_state() const {

@@ -56,6 +56,15 @@ class ReplicaNode : public multiring::MultiRingNode {
   void on_app_message(ProcessId from, const sim::Message& m) override;
   void on_trimmed_gap(GroupId group, InstanceId trimmed_to) override;
 
+  /// Applies one ordered command to the service state machine (called in
+  /// delivery order, after session dedup). Subclasses interpose here for
+  /// routing validation and ordered control commands (e.g. MRP-Store's
+  /// partition split); the default delegates to StateMachine::apply.
+  virtual Bytes apply_command(GroupId group, const Command& c);
+
+  /// The replica's configured options (subclasses read partition_tag etc.).
+  const ReplicaOptions& replica_options() const { return options_; }
+
  private:
   struct Session {
     std::uint64_t last_seq = 0;

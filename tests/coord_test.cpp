@@ -14,9 +14,17 @@ class Dummy : public sim::Process {
   void on_message(ProcessId, const sim::Message& m) override {
     if (m.kind() == kMsgViewChange) {
       views.push_back(sim::msg_cast<MsgViewChange>(m).view);
+    } else if (m.kind() == kMsgSchemaChange) {
+      const auto& s = sim::msg_cast<MsgSchemaChange>(m);
+      schemas.emplace_back(s.key, s.entry);
+    } else if (m.kind() == kMsgSubChange) {
+      const auto& s = sim::msg_cast<MsgSubChange>(m);
+      subs.push_back(s);
     }
   }
   std::vector<RingView> views;
+  std::vector<std::pair<std::string, SchemaEntry>> schemas;
+  std::vector<MsgSubChange> subs;
 };
 
 class RegistryTest : public ::testing::Test {
@@ -159,6 +167,101 @@ TEST_F(RegistryTest, QuorumBasedOnConfiguredAcceptors) {
   // One alive acceptor out of three configured: quorum stays 2.
   EXPECT_EQ(reg_.current_view(0).quorum(), 2u);
   EXPECT_EQ(reg_.current_view(0).acceptors.size(), 1u);
+}
+
+TEST_F(RegistryTest, VersionedSchemaPublishBumpsAndNotifiesWatchers) {
+  spawn({1, 2});
+  EXPECT_EQ(reg_.schema("store").version, 0u);  // never published
+
+  EXPECT_EQ(reg_.publish_schema("store", "hash:3"), 1u);
+  EXPECT_EQ(reg_.schema("store").version, 1u);
+  EXPECT_EQ(reg_.schema("store").encoded, "hash:3");
+
+  // Watching with an existing entry delivers it immediately.
+  reg_.watch_schema("store", 1);
+  env_.sim().run_for(from_millis(10));
+  auto* d1 = env_.process_as<Dummy>(1);
+  ASSERT_EQ(d1->schemas.size(), 1u);
+  EXPECT_EQ(d1->schemas[0].first, "store");
+  EXPECT_EQ(d1->schemas[0].second.version, 1u);
+
+  // Watching a never-published key delivers nothing until a publish.
+  reg_.watch_schema("other", 2);
+  env_.sim().run_for(from_millis(10));
+  auto* d2 = env_.process_as<Dummy>(2);
+  EXPECT_TRUE(d2->schemas.empty());
+
+  EXPECT_EQ(reg_.publish_schema("store", "range:00"), 2u);
+  EXPECT_EQ(reg_.publish_schema("other", "x"), 1u);  // versions are per key
+  env_.sim().run_for(from_millis(10));
+  ASSERT_EQ(d1->schemas.size(), 2u);
+  EXPECT_EQ(d1->schemas[1].second.version, 2u);
+  EXPECT_EQ(d1->schemas[1].second.encoded, "range:00");
+  ASSERT_EQ(d2->schemas.size(), 1u);
+  EXPECT_EQ(d2->schemas[0].first, "other");
+}
+
+TEST_F(RegistryTest, SubscriptionEpochsBumpAndNotifyWatchers) {
+  spawn({1, 2, 9});
+  reg_.watch_subscriptions(9);
+  EXPECT_EQ(reg_.subscription_epoch(1), 0u);
+
+  reg_.set_subscriptions(1, {3, 0});
+  reg_.set_subscriptions(2, {0});
+  reg_.set_subscriptions(1, {0, 3, 5});
+  EXPECT_EQ(reg_.subscription_epoch(1), 2u);
+  EXPECT_EQ(reg_.subscription_epoch(2), 1u);
+
+  env_.sim().run_for(from_millis(10));
+  auto* w = env_.process_as<Dummy>(9);
+  ASSERT_EQ(w->subs.size(), 3u);
+  EXPECT_EQ(w->subs[0].process, 1);
+  EXPECT_EQ(w->subs[0].epoch, 1u);
+  EXPECT_EQ(w->subs[0].groups, (std::vector<GroupId>{0, 3}));  // sorted
+  EXPECT_EQ(w->subs[2].process, 1);
+  EXPECT_EQ(w->subs[2].epoch, 2u);
+  EXPECT_EQ(w->subs[2].groups, (std::vector<GroupId>{0, 3, 5}));
+}
+
+TEST_F(RegistryTest, DynamicMemberJoinsRingOrderAndView) {
+  spawn({1, 2, 3, 4});
+  reg_.create_ring(config3());
+  reg_.watch_ring(0, 1);
+  env_.sim().run_for(from_millis(10));
+  const std::uint64_t epoch_before = reg_.current_view(0).epoch;
+
+  reg_.add_ring_member(0, 4);
+  const RingView& v = reg_.current_view(0);
+  EXPECT_GT(v.epoch, epoch_before);
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_FALSE(v.is_acceptor(4));  // dynamic members are never acceptors
+  EXPECT_EQ(v.total_acceptors, 3u);  // quorum basis unchanged
+  EXPECT_EQ(v.successor(3), 4);      // appended at the ring tail
+  EXPECT_EQ(v.successor(4), 1);      // wraps
+
+  // Watchers hear about the membership change.
+  env_.sim().run_for(from_millis(10));
+  auto* d = env_.process_as<Dummy>(1);
+  ASSERT_GE(d->views.size(), 2u);
+  EXPECT_TRUE(d->views.back().contains(4));
+
+  // And a dynamic member can leave again.
+  reg_.remove_ring_member(0, 4);
+  EXPECT_FALSE(reg_.current_view(0).contains(4));
+  EXPECT_EQ(reg_.config(0).order.size(), 3u);
+}
+
+TEST_F(RegistryTest, UnwatchStopsNotifications) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  reg_.watch_ring(0, 3);
+  env_.sim().run_for(from_millis(10));
+  auto* d = env_.process_as<Dummy>(3);
+  const std::size_t seen = d->views.size();
+  reg_.unwatch_ring(0, 3);
+  env_.crash(2);
+  env_.sim().run_for(from_millis(300));
+  EXPECT_EQ(d->views.size(), seen) << "unwatched process was still notified";
 }
 
 }  // namespace

@@ -443,5 +443,216 @@ TEST_F(MultiRingTest, CrossGroupDeliveryRelationIsAcyclic) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-aware merger: groups joining and leaving the rotation.
+
+TEST(MergerDynamic, EmptyMergerDeliversNothingUntilFirstGroup) {
+  std::vector<std::string> out;
+  DeterministicMerger m({}, 1, [&](GroupId g, InstanceId, const paxos::Value& v) {
+    out.push_back(std::to_string(g) + ":" + v.payload.as_string());
+  });
+  EXPECT_TRUE(m.at_round_boundary());
+  EXPECT_EQ(m.waiting_on(), -1);
+  m.add_group(3);  // at a boundary: active immediately
+  m.on_decision(3, 0, val("a"));
+  EXPECT_EQ(out, (std::vector<std::string>{"3:a"}));
+}
+
+TEST(MergerDynamic, AddGroupActivatesAtNextRoundBoundary) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1}, 2, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  m.on_decision(1, 0, val("v"));  // mid-window: consumed 1 of M=2
+  m.add_group(2);
+  // Decisions for the pending group buffer without consuming quota.
+  m.on_decision(2, 0, val("v"));
+  m.on_decision(2, 1, val("v"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1@0"}));
+  // Completing group 1's window crosses the boundary; group 2 splices in
+  // and the next round runs 1's window, then 2's buffered window.
+  m.on_decision(1, 1, val("v"));
+  EXPECT_EQ(m.groups(), (std::vector<GroupId>{1, 2}));
+  m.on_decision(1, 2, val("v"));
+  m.on_decision(1, 3, val("v"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1@0", "1@1", "1@2", "1@3", "2@0",
+                                           "2@1"}));
+}
+
+TEST(MergerDynamic, JoinerStartsAtInstalledStartInstance) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1}, 1, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  // Join group 5 mid-stream at instance 40 (bootstrapped from a
+  // checkpoint): earlier instances are already covered by the state.
+  m.add_group(5, 40);
+  m.on_decision(5, 40, val("v"));
+  m.on_decision(1, 0, val("v"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1@0", "5@40"}));
+}
+
+TEST(MergerDynamic, RemoveGroupRetiresAtItsNextTurn) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  m.on_decision(1, 0, val("v"));
+  // Cursor now waits on group 2's turn. Retiring group 2 releases the
+  // rotation even though the group never produces another decision (its
+  // handler may already be gone).
+  m.remove_group(2);
+  EXPECT_EQ(m.groups(), (std::vector<GroupId>{1}));
+  m.on_decision(1, 1, val("v"));
+  m.on_decision(1, 2, val("v"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1@0", "1@1", "1@2"}));
+}
+
+TEST(MergerDynamic, RemoveDuringDeliveryRetiresAfterTheCallback) {
+  // The control-command pattern: a delivered message of group 2 makes the
+  // learner unsubscribe group 2 (same point on every peer).
+  std::vector<std::string> out;
+  DeterministicMerger* mp = nullptr;
+  DeterministicMerger m({1, 2}, 1, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+    if (g == 2 && i == 0) mp->remove_group(2);
+  });
+  mp = &m;
+  m.on_decision(1, 0, val("v"));
+  m.on_decision(1, 1, val("v"));
+  m.on_decision(2, 0, val("v"));
+  m.on_decision(1, 2, val("v"));
+  EXPECT_EQ(out, (std::vector<std::string>{"1@0", "2@0", "1@1", "1@2"}));
+  EXPECT_EQ(m.groups(), (std::vector<GroupId>{1}));
+}
+
+TEST(MergerDynamic, RoundCounterAdvancesPerCompletedRound) {
+  DeterministicMerger m({1, 2}, 2, [](GroupId, InstanceId, const paxos::Value&) {});
+  EXPECT_EQ(m.round(), 0u);
+  for (InstanceId i = 0; i < 4; ++i) m.on_decision(1, i, val("v"));
+  for (InstanceId i = 0; i < 4; ++i) m.on_decision(2, i, val("v"));
+  EXPECT_EQ(m.round(), 2u);
+  EXPECT_TRUE(m.at_round_boundary());
+}
+
+TEST(MergerDynamic, PendingAddCancelledByRemove) {
+  std::vector<std::string> out;
+  DeterministicMerger m({1}, 2, [&](GroupId g, InstanceId i, const paxos::Value&) {
+    out.push_back(std::to_string(g) + "@" + std::to_string(i));
+  });
+  m.on_decision(1, 0, val("v"));  // mid-window
+  m.add_group(2);
+  m.remove_group(2);  // cancelled before activation
+  m.on_decision(1, 1, val("v"));
+  m.on_decision(1, 2, val("v"));
+  m.on_decision(1, 3, val("v"));
+  EXPECT_EQ(m.groups(), (std::vector<GroupId>{1}));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Node-level dynamic subscriptions: learners that join a ring when an
+// ordered control message tells them to produce identical merged sequences.
+
+TEST_F(MultiRingTest, OrderedJoinKeepsMergedSequencesIdentical) {
+  ringpaxos::RingParams p;
+  p.lambda = 2000;
+  p.skip_interval = 5 * kMillisecond;
+
+  coord::RingConfig r1;
+  r1.ring = 1;
+  r1.order = {1, 2, 3};
+  r1.acceptors = {1, 2, 3};
+  registry_->create_ring(r1);
+  coord::RingConfig r2;
+  r2.ring = 2;
+  r2.order = {1, 2, 3};
+  r2.acceptors = {1, 2, 3};
+  registry_->create_ring(r2);
+
+  // All nodes subscribe ring 1 only; a control payload delivered through
+  // ring 1 makes each learner attach ring 2 at that (identical) point.
+  auto join_sink = std::make_shared<Sink>(
+      [this, p](ProcessId n, GroupId g, InstanceId i, const Payload& pay) {
+        deliveries_.push_back({n, g, i, pay.as_string()});
+        if (pay.as_string() == "join2") {
+          env_.process_as<TestNode>(n)->attach_ring(
+              multiring::RingSub{2, p, true});
+        }
+      });
+  multiring::NodeConfig only1;
+  only1.rings = {multiring::RingSub{1, p, true}};
+  for (ProcessId n : {1, 2, 3}) {
+    env_.spawn<TestNode>(n, registry_.get(), only1, join_sink);
+  }
+  env_.sim().run_for(from_millis(50));
+
+  for (int i = 0; i < 5; ++i) {
+    env_.process_as<TestNode>(1)->multicast(1, Payload("a" + std::to_string(i)));
+    env_.sim().run_for(from_millis(3));
+  }
+  env_.process_as<TestNode>(1)->multicast(1, Payload("join2"));
+  env_.sim().run_for(from_millis(50));
+
+  // Every node now owns a ring-2 handler and can multicast to it.
+  for (int i = 0; i < 10; ++i) {
+    const GroupId g = (i % 2) + 1;
+    env_.process_as<TestNode>(2)->multicast(g, Payload("b" + std::to_string(i)));
+    env_.sim().run_for(from_millis(3));
+  }
+  env_.sim().run_for(from_millis(1000));
+
+  auto d1 = delivered_at(1);
+  auto d2 = delivered_at(2);
+  auto d3 = delivered_at(3);
+  ASSERT_EQ(d1.size(), 16u);  // 5 + join + 10
+  ASSERT_EQ(d2.size(), d1.size());
+  ASSERT_EQ(d3.size(), d1.size());
+  bool saw_ring2 = false;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1[i].payload, d2[i].payload) << "diverged at " << i;
+    EXPECT_EQ(d1[i].payload, d3[i].payload) << "diverged at " << i;
+    EXPECT_EQ(d1[i].group, d2[i].group) << "diverged at " << i;
+    saw_ring2 = saw_ring2 || d1[i].group == 2;
+  }
+  EXPECT_TRUE(saw_ring2) << "ring-2 stream never joined the merge";
+  // The registry saw the subscription epoch bump.
+  EXPECT_EQ(registry_->subscriptions(1), (std::vector<GroupId>{1, 2}));
+  EXPECT_GE(registry_->subscription_epoch(1), 2u);
+}
+
+TEST_F(MultiRingTest, OrderedLeaveDetachesHandlerAndKeepsMergeFlowing) {
+  build_fig2c();
+  env_.sim().run_for(from_millis(50));
+
+  // Nodes 1-3 deliver {1, 2}. A control message on ring 1 detaches ring 2
+  // everywhere at the same merged position.
+  for (int i = 0; i < 4; ++i) {
+    env_.process_as<TestNode>(1)->multicast((i % 2) + 1,
+                                            Payload("m" + std::to_string(i)));
+    env_.sim().run_for(from_millis(3));
+  }
+  env_.sim().run_for(from_millis(200));
+  for (ProcessId n : {1, 2, 3}) {
+    env_.process_as<TestNode>(n)->detach_ring(2);
+    EXPECT_EQ(env_.process_as<TestNode>(n)->handler(2), nullptr);
+  }
+
+  // Ring 1 keeps delivering even though ring 2's streams are gone.
+  const std::size_t before = deliveries_.size();
+  for (int i = 0; i < 6; ++i) {
+    env_.process_as<TestNode>(1)->multicast(1, Payload("x" + std::to_string(i)));
+    env_.sim().run_for(from_millis(3));
+  }
+  env_.sim().run_for(from_millis(500));
+  std::size_t after_ring1 = 0;
+  for (const auto& d : deliveries_) {
+    if (d.node == 1 && d.payload.rfind("x", 0) == 0) ++after_ring1;
+  }
+  EXPECT_EQ(after_ring1, 6u);
+  EXPECT_GT(deliveries_.size(), before);
+  EXPECT_EQ(registry_->subscriptions(1), (std::vector<GroupId>{1}));
+}
+
 }  // namespace
 }  // namespace mrp
