@@ -8,6 +8,7 @@
 // paper's 2014 testbed. EXPERIMENTS.md records both.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -22,8 +23,48 @@
 
 #include "common/histogram.hpp"
 #include "sim/env.hpp"
+#include "smr/replica.hpp"
 
 namespace mrp::bench {
+
+// ---------------------------------------------------------------------------
+// Flow-control metrics (queue depth high watermarks + shed counters)
+//
+// Every layer of the bounded request pipeline keeps QueueStats gauges: the
+// replica admission window, the coordinator's pending queue, and the
+// adaptive inflight window. Benches aggregate them across a deployment's
+// replicas so each report can prove (or expose) whether queues stayed within
+// their configured caps during the run.
+
+struct FlowMetrics {
+  std::uint64_t replica_shed = 0;   ///< MsgClientBusy pushbacks sent
+  std::uint64_t ring_shed = 0;      ///< coordinator pending-queue sheds
+  std::size_t admission_hwm = 0;    ///< max per-group admitted commands
+  std::size_t pending_hwm = 0;      ///< max coordinator pending depth
+  std::size_t inflight_hwm = 0;     ///< max coordinator inflight depth
+};
+
+/// Sums the flow-control gauges of `replicas` over `groups`.
+inline FlowMetrics collect_flow(sim::Env& env,
+                                const std::vector<ProcessId>& replicas,
+                                const std::vector<GroupId>& groups) {
+  FlowMetrics m;
+  for (ProcessId r : replicas) {
+    auto* rep = env.process_as<smr::ReplicaNode>(r);
+    for (GroupId g : groups) {
+      const auto adm = rep->admission_stats(g);
+      m.replica_shed += adm.shed;
+      m.admission_hwm = std::max(m.admission_hwm, adm.commands_hwm);
+      if (auto* h = rep->handler(g)) {
+        const auto flow = h->flow_stats();
+        m.ring_shed += flow.shed;
+        m.pending_hwm = std::max(m.pending_hwm, flow.pending_hwm);
+        m.inflight_hwm = std::max(m.inflight_hwm, flow.inflight_hwm);
+      }
+    }
+  }
+  return m;
+}
 
 /// CPU profile of one of the paper's cluster machines (32-core Xeon): a
 /// fixed per-message handling cost plus a per-byte cost (checksum + copy).
@@ -364,5 +405,15 @@ class BenchReporter {
   std::deque<Row> rows_;
   bool written_ = false;
 };
+
+/// Appends the standard flow-control columns to a row (see FlowMetrics).
+inline BenchReporter::Row& add_flow_metrics(BenchReporter::Row& row,
+                                            const FlowMetrics& m) {
+  return row.metric("replica_shed", static_cast<double>(m.replica_shed))
+      .metric("ring_shed", static_cast<double>(m.ring_shed))
+      .metric("admission_hwm", static_cast<double>(m.admission_hwm))
+      .metric("pending_hwm", static_cast<double>(m.pending_hwm))
+      .metric("inflight_hwm", static_cast<double>(m.inflight_hwm));
+}
 
 }  // namespace mrp::bench

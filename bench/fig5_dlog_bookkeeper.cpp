@@ -54,9 +54,14 @@ Point run_dlog(int threads) {
   }
   dlog::DLogClient client(dep);
 
+  // dLog's flow-control client options: the outstanding window equals the
+  // thread count (pure closed loop), with jittered-backoff retry/pushback.
+  smr::ClientNode::Options copts = dlog::DLogClient::client_options(
+      static_cast<std::uint32_t>(threads), static_cast<std::uint32_t>(threads),
+      5 * kSecond);
+  copts.start_delay = 10 * kMillisecond;
   auto* c = env.spawn<smr::ClientNode>(
-      kClientPid, smr::ClientNode::Options{static_cast<std::uint32_t>(threads),
-                                           5 * kSecond, 10 * kMillisecond},
+      kClientPid, copts,
       smr::ClientNode::NextFn(
           [&client, n = 0](std::uint32_t) mutable -> std::optional<smr::Request> {
             return client.append(static_cast<dlog::LogId>(n++ % 2),

@@ -42,6 +42,7 @@ struct Point {
   double aggregate_ops;
   Histogram uswest2_latency;
   std::vector<double> per_region_ops;
+  bench::FlowMetrics flow;
 };
 
 Point run(int regions) {
@@ -143,7 +144,7 @@ Point run(int regions) {
   const TimeNs measure = from_seconds(20);
   env.sim().run_for(measure);
 
-  Point p{0, Histogram(), {}};
+  Point p{0, Histogram(), {}, {}};
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const double ops =
         static_cast<double>(clients[i]->completed() - before[i]) /
@@ -153,6 +154,9 @@ Point run(int regions) {
   }
   // us-west-2 is deployment index 0 (see kRegionOrder).
   p.uswest2_latency.merge(clients[0]->latency_histogram());
+  std::vector<GroupId> groups;
+  for (int i = 0; i < regions; ++i) groups.push_back(i);
+  p.flow = bench::collect_flow(env, replicas, groups);
   return p;
 }
 
@@ -188,6 +192,7 @@ int main() {
                     .metric("throughput_ops", p.aggregate_ops)
                     .metric("linear_scaling_pct", pct)
                     .latency(p.uswest2_latency);
+    bench::add_flow_metrics(row, p.flow);
     for (std::size_t i = 0; i < p.per_region_ops.size(); ++i) {
       std::printf("%s%s=%.0f", i ? " " : "",
                   bench::region_name(kRegionOrder[i]), p.per_region_ops[i]);

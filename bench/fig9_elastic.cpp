@@ -204,13 +204,16 @@ int main() {
                            "no replica diverged"
                          : "FAIL");
 
-  rep.row("summary")
-      .metric("throughput_pre_split_ops", before)
-      .metric("throughput_post_split_ops", after)
-      .metric("speedup", after / before)
-      .metric("reroutes", static_cast<double>(client->reroutes()))
-      .metric("schema_version", static_cast<double>(dep.schema_version))
-      .metric("divergence_free", ok ? 1 : 0)
+  auto& summary =
+      rep.row("summary")
+          .metric("throughput_pre_split_ops", before)
+          .metric("throughput_post_split_ops", after)
+          .metric("speedup", after / before)
+          .metric("reroutes", static_cast<double>(client->reroutes()))
+          .metric("schema_version", static_cast<double>(dep.schema_version))
+          .metric("divergence_free", ok ? 1 : 0);
+  bench::add_flow_metrics(
+      summary, bench::collect_flow(env, dep.all_replicas(), dep.partition_groups))
       .latency(client->latency_histogram());
   return rep.write() && ok ? 0 : 1;
 }

@@ -1,0 +1,45 @@
+// Deterministic jittered exponential backoff.
+//
+// One shared helper so every retry path — ring proposers answering MsgBusy
+// pushback, smr clients re-sending after a busy reply, the stale-routing
+// reroute loop, client request retries — backs off the same way: an
+// exponentially growing delay with bounded jitter, computed as a pure
+// function of the attempt number and one Rng draw. Under the simulator's
+// seeded Rng the whole retry schedule is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mrp {
+
+struct BackoffParams {
+  TimeNs base = 2 * kMillisecond;  ///< delay scale of the first retry
+  TimeNs cap = kSecond;            ///< upper bound of the exponential term
+  double jitter = 0.5;             ///< jittered fraction of the delay, [0, 1]
+};
+
+/// Delay before retry `attempt` (1-based). The exponential term is
+/// min(cap, base * 2^(attempt-1)); of it, the `jitter` fraction is drawn
+/// uniformly from `rng` and the remainder is fixed, so the result always
+/// lies in [(1-jitter)*term, term]. Pure in (attempt, params, rng draw):
+/// the same Rng state yields the same delay on every platform.
+inline TimeNs jittered_backoff(std::uint32_t attempt, const BackoffParams& p,
+                               Rng& rng) {
+  MRP_CHECK(attempt >= 1);
+  MRP_CHECK(p.base > 0 && p.cap >= p.base);
+  MRP_CHECK(p.jitter >= 0.0 && p.jitter <= 1.0);
+  const std::uint32_t shift = attempt - 1 < 40 ? attempt - 1 : 40;
+  const TimeNs term = p.base > (p.cap >> shift) ? p.cap : p.base << shift;
+  const auto jittered = static_cast<TimeNs>(
+      p.jitter * static_cast<double>(term));
+  const TimeNs fixed = term - jittered;
+  if (jittered <= 0) return fixed;
+  return fixed + static_cast<TimeNs>(
+                     rng.next_below(static_cast<std::uint64_t>(jittered) + 1));
+}
+
+}  // namespace mrp

@@ -1,7 +1,9 @@
-// Experiment metrics: windowed throughput timelines (for the recovery figure)
-// and simple aggregate meters used by every bench harness.
+// Experiment metrics: windowed throughput timelines (for the recovery figure),
+// simple aggregate meters used by every bench harness, and the bounded-queue
+// gauge the flow-control layers report through.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,6 +11,32 @@
 #include "common/types.hpp"
 
 namespace mrp {
+
+/// Instrumentation for one bounded queue / admission window: the owner keeps
+/// the live depth; this gauge accumulates the high watermark and the
+/// admitted/shed split, so overload benches and chaos invariants can prove a
+/// queue stayed within its configured cap for the whole run.
+class QueueStats {
+ public:
+  /// Records the depth observed after an admission (or any sample point).
+  void record_depth(std::size_t depth) {
+    if (depth > hwm_) hwm_ = depth;
+  }
+  void on_admit(std::size_t depth_after) {
+    ++admitted_;
+    record_depth(depth_after);
+  }
+  void on_shed() { ++shed_; }
+
+  std::size_t high_watermark() const { return hwm_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t shed() const { return shed_; }
+
+ private:
+  std::size_t hwm_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+};
 
 /// Counts events into fixed-width time windows so a bench can print a
 /// throughput-over-time series (e.g. Figure 8's 300-second timeline).

@@ -31,13 +31,13 @@ Registry::Registry(sim::Env& env, TimeNs fd_interval)
     : env_(env), fd_interval_(fd_interval) {
   MRP_CHECK(fd_interval > 0);
   // Self-rescheduling poll loop; the registry lives as long as the Env.
-  std::function<void()> tick = [this] { poll(); };
-  auto loop = std::make_shared<std::function<void()>>();
-  *loop = [this, loop] {
+  // Scheduled copies capture only `this` (the member function object owns
+  // the closure), so there is no shared_ptr self-cycle to leak.
+  fd_tick_ = [this] {
     poll();
-    env_.sim().schedule_after(fd_interval_, *loop);
+    env_.sim().schedule_after(fd_interval_, fd_tick_);
   };
-  env_.sim().schedule_after(fd_interval_, *loop);
+  env_.sim().schedule_after(fd_interval_, fd_tick_);
 }
 
 void Registry::create_ring(const RingConfig& config) {

@@ -27,6 +27,7 @@
 // than any predecessor.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -200,6 +201,10 @@ class Registry {
 
   sim::Env& env_;
   TimeNs fd_interval_;
+  // The failure-detector tick re-schedules copies of itself; keeping it as
+  // a member (capturing only `this`) avoids the shared_ptr self-cycle a
+  // self-capturing lambda would leak.
+  std::function<void()> fd_tick_;
   std::map<GroupId, RingState> rings_;
   std::map<ProcessId, std::vector<GroupId>> subscriptions_;
   std::map<ProcessId, std::uint64_t> sub_epochs_;

@@ -57,4 +57,11 @@ smr::Request DLogClient::trim(LogId log, Position pos) const {
   return to_log(log, std::move(op));
 }
 
+smr::ClientNode::Options DLogClient::client_options(std::uint32_t workers,
+                                                    std::uint32_t max_outstanding,
+                                                    TimeNs retry_timeout) {
+  return smr::ClientNode::Options::flow(workers, max_outstanding,
+                                        retry_timeout);
+}
+
 }  // namespace mrp::dlog

@@ -16,6 +16,14 @@ class DLogClient {
   smr::Request read(LogId log, Position pos) const;
   smr::Request trim(LogId log, Position pos) const;
 
+  /// Client-node options preconfigured with dLog's flow-control defaults:
+  /// `workers` appender sessions sharing an outstanding-request window of
+  /// `max_outstanding` commands (0 = uncapped) with jittered-backoff retry
+  /// and MsgClientBusy pushback handling.
+  static smr::ClientNode::Options client_options(
+      std::uint32_t workers, std::uint32_t max_outstanding,
+      TimeNs retry_timeout = 2 * kSecond);
+
   const DLogDeployment& deployment() const { return deployment_; }
 
  private:

@@ -126,6 +126,13 @@ smr::ClientNode::RerouteFn StoreClient::reroute_fn(
   };
 }
 
+smr::ClientNode::Options StoreClient::client_options(
+    std::uint32_t workers, std::uint32_t max_outstanding,
+    TimeNs retry_timeout) {
+  return smr::ClientNode::Options::flow(workers, max_outstanding,
+                                        retry_timeout);
+}
+
 Result StoreClient::merge_scan(const std::map<int, Bytes>& replies,
                                std::uint32_t limit) {
   Result merged;

@@ -44,6 +44,14 @@ class StoreClient {
   /// new partition layout. `registry` and this client must outlive the node.
   smr::ClientNode::RerouteFn reroute_fn(const coord::Registry* registry);
 
+  /// Client-node options preconfigured with the store's flow-control
+  /// defaults: `workers` sessions sharing an outstanding-request window of
+  /// `max_outstanding` commands (0 = uncapped) with jittered-backoff
+  /// retry and MsgClientBusy pushback handling.
+  static smr::ClientNode::Options client_options(
+      std::uint32_t workers, std::uint32_t max_outstanding,
+      TimeNs retry_timeout = 2 * kSecond);
+
   const StoreDeployment& deployment() const { return deployment_; }
 
  private:

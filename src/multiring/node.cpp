@@ -62,6 +62,9 @@ void MultiRingNode::make_handler(const RingSub& sub) {
       [this](GroupId g, InstanceId trimmed_to) {
         on_trimmed_gap(g, trimmed_to);
       });
+  handler->set_own_delivered([this](GroupId g, const paxos::Value& v) {
+    on_own_value_delivered(g, v);
+  });
   if (const InstanceId start = start_of(sub.group); start > 0) {
     // Mid-stream joiner: instances below the bootstrap position are covered
     // by installed state — don't retransmit them.
@@ -160,6 +163,9 @@ void MultiRingNode::on_app_message(ProcessId /*from*/,
 
 void MultiRingNode::on_trimmed_gap(GroupId /*group*/,
                                    InstanceId /*trimmed_to*/) {}
+
+void MultiRingNode::on_own_value_delivered(GroupId /*group*/,
+                                           const paxos::Value& /*v*/) {}
 
 void MultiRingNode::deliver_merged(GroupId group, InstanceId instance,
                                    const paxos::Value& v) {

@@ -126,6 +126,13 @@ class MultiRingNode : public sim::Process {
   /// gap this learner still needs (the replica must run full recovery).
   virtual void on_trimmed_gap(GroupId group, InstanceId trimmed_to);
 
+  /// Hook invoked when a value this node itself proposed (multicast) is
+  /// decided and passes the ring's ordered stream — exactly once per
+  /// proposed value, whether or not the node is a learner of the group.
+  /// The smr layer returns flow-control admission credits here. Default:
+  /// ignore.
+  virtual void on_own_value_delivered(GroupId group, const paxos::Value& v);
+
  private:
   void deliver_merged(GroupId group, InstanceId instance,
                       const paxos::Value& v);

@@ -15,6 +15,7 @@ void RingHandler::become_coordinator() {
   coord_.round = view_.epoch;
   coord_.phase1_replies.clear();
   coord_.next_instance = std::max(coord_.next_instance, next_delivery_);
+  coord_.window = params_.window;  // adaptive cap starts wide open
 
   // Promise to self, then pre-execute Phase 1 for all instances >= the local
   // ordered watermark with the other alive acceptors.
@@ -44,8 +45,20 @@ void RingHandler::resign_coordinator() {
   coord_.phase1_done = false;
   coord_.phase1_replies.clear();
   // Values never assigned an instance are dropped here; their proposers
-  // retry toward the new coordinator. In-flight accepted values are
-  // recovered by the new coordinator's Phase 1.
+  // retry toward the new coordinator. Forget their ids too (from both the
+  // dedup set and its FIFO trim order, which must stay in sync): if this
+  // node is later re-elected, those retries must be admitted as fresh
+  // values, not suppressed as duplicates (which would drop them forever and
+  // leak the proposer's admission credits). In-flight accepted values are
+  // recovered by the new coordinator's Phase 1 and keep their ids.
+  std::unordered_set<ValueId, ValueIdHash> dropped;
+  for (const paxos::Value& v : coord_.pending) {
+    if (!v.is_skip() && coord_.known_ids.erase(v.id) > 0) dropped.insert(v.id);
+  }
+  if (!dropped.empty()) {
+    std::erase_if(coord_.known_order,
+                  [&](const ValueId& id) { return dropped.count(id) > 0; });
+  }
   coord_.pending.clear();
   coord_.inflight.clear();
 }
@@ -165,22 +178,46 @@ void RingHandler::remember_id(const ValueId& id) {
 
 void RingHandler::coordinator_enqueue(paxos::Value v) {
   MRP_CHECK(coord_.active);
-  if (!v.is_skip()) {
-    if (coord_.known_ids.count(v.id)) return;  // duplicate (proposer retry)
-    remember_id(v.id);
+  if (!v.is_skip() && coord_.known_ids.count(v.id)) {
+    return;  // duplicate (proposer retry)
   }
-  if (!coord_.phase1_done || coord_.inflight.size() >= params_.window) {
+  if (!coord_.phase1_done || coord_.inflight.size() >= coord_.window) {
+    if (coord_.pending.size() >= params_.max_pending) {
+      // Bounded pipeline: refuse a slot and push back to the proposer
+      // instead of queueing without bound. The id is deliberately NOT
+      // remembered — the backed-off re-submission must not be suppressed
+      // as a duplicate.
+      shed_value(v);
+      return;
+    }
+    if (!v.is_skip()) remember_id(v.id);
     coord_.pending.push_back(std::move(v));
+    coord_.pending_stats.on_admit(coord_.pending.size());
     return;
   }
+  if (!v.is_skip()) remember_id(v.id);
   const InstanceId inst = coord_.next_instance;
   coord_.next_instance += std::max<std::uint64_t>(1, v.skip_count);
   start_instance(inst, std::move(v));
 }
 
+void RingHandler::shed_value(const paxos::Value& v) {
+  coord_.pending_stats.on_shed();
+  if (v.is_skip()) return;  // rate-leveling top-ups are never re-submitted
+  if (v.id.proposer == host_.id()) {
+    apply_busy(v.id, params_.busy_retry_hint);
+    return;
+  }
+  auto busy = std::make_shared<MsgBusy>();
+  busy->ring = ring_;
+  busy->id = v.id;
+  busy->retry_after = params_.busy_retry_hint;
+  host_.send(v.id.proposer, busy);
+}
+
 void RingHandler::drain_pending() {
   while (coord_.phase1_done && !coord_.pending.empty() &&
-         coord_.inflight.size() < params_.window) {
+         coord_.inflight.size() < coord_.window) {
     paxos::Value v = std::move(coord_.pending.front());
     coord_.pending.pop_front();
     const InstanceId inst = coord_.next_instance;
@@ -193,6 +230,9 @@ void RingHandler::start_instance(InstanceId instance, paxos::Value v) {
   MRP_CHECK(coord_.active);
   if (!v.is_skip()) ++coord_.interval_value_instances;
   coord_.inflight.insert_or_assign(instance, Inflight{v, host_.now()});
+  if (coord_.inflight.size() > coord_.inflight_hwm) {
+    coord_.inflight_hwm = coord_.inflight.size();
+  }
   value_cache_.insert_or_assign(instance, v);
 
   auto msg = std::make_shared<MsgPhase2>();
@@ -223,6 +263,9 @@ void RingHandler::coordinator_on_decision(InstanceId instance,
   if (!coord_.active) return;
   coord_.inflight.erase(instance);
   if (!v.is_skip()) remember_id(v.id);
+  // Additive recovery of the adaptive window: the ring is draining, so the
+  // pipeline may deepen again (up to the configured maximum).
+  if (coord_.window < params_.window) ++coord_.window;
   drain_pending();
 }
 
@@ -233,7 +276,7 @@ void RingHandler::rate_level_tick() {
   const std::uint64_t produced = coord_.interval_value_instances;
   coord_.interval_value_instances = 0;
   if (produced >= quota) return;
-  if (!coord_.pending.empty() || coord_.inflight.size() >= params_.window) {
+  if (!coord_.pending.empty() || coord_.inflight.size() >= coord_.window) {
     return;  // ring saturated; no top-up needed
   }
   const auto deficit = static_cast<std::uint32_t>(quota - produced);
@@ -261,8 +304,10 @@ void RingHandler::retry_tick() {
   // so their inflight entries linger; drop them here both to stop useless
   // re-proposals and to keep the flat window dense.
   coord_.inflight.erase_below(next_delivery_);
+  bool timed_out = false;
   coord_.inflight.for_each([&](InstanceId inst, Inflight& f) {
     if (now - f.proposed_at < params_.phase2_retry) return;
+    timed_out = true;
     f.proposed_at = now;
     auto msg = std::make_shared<MsgPhase2>();
     msg->ring = ring_;
@@ -273,6 +318,13 @@ void RingHandler::retry_tick() {
     msg->votes = own_vote_bit();  // already logged at start_instance
     forward(msg);
   });
+  if (timed_out) {
+    // The ring let a whole retry interval pass without deciding: halve the
+    // adaptive window (down to the floor) so a slow or partitioned ring
+    // stops accumulating inflight state it cannot drain.
+    const std::size_t floor = std::min(params_.min_window, params_.window);
+    coord_.window = std::max(floor, coord_.window / 2);
+  }
 }
 
 }  // namespace mrp::ringpaxos

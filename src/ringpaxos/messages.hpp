@@ -26,6 +26,7 @@ constexpr int kMsgDecision = 104;
 constexpr int kMsgRetransmitReq = 105;
 constexpr int kMsgRetransmitReply = 106;
 constexpr int kMsgTrim = 107;
+constexpr int kMsgBusy = 108;
 
 struct RingMessage : sim::Message {
   GroupId ring = -1;
@@ -114,6 +115,17 @@ struct MsgTrim final : RingMessage {
   InstanceId upto = 0;
   int kind() const override { return kMsgTrim; }
   std::size_t wire_size() const override { return 24; }
+};
+
+/// Coordinator -> proposer pushback (point-to-point, off the ring): the
+/// bounded pending queue is full, value `id` was shed, and the proposer
+/// should re-submit no sooner than `retry_after` (it layers jittered
+/// exponential backoff on top — see common/backoff.hpp).
+struct MsgBusy final : RingMessage {
+  ValueId id;
+  TimeNs retry_after = 0;
+  int kind() const override { return kMsgBusy; }
+  std::size_t wire_size() const override { return 36; }
 };
 
 }  // namespace mrp::ringpaxos

@@ -22,7 +22,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/backoff.hpp"
 #include "common/instance_map.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "coord/registry.hpp"
 #include "paxos/paxos.hpp"
@@ -40,6 +42,18 @@ struct RingParams {
   double log_background_ns_per_byte = 0.0;
 
   std::size_t window = 4096;  // max undecided instances at the coordinator
+
+  // Flow control (bounded pipeline): the coordinator queues at most
+  // max_pending values waiting for an inflight slot; overflow is shed back
+  // to the proposer with MsgBusy + retry-after, and the proposer re-submits
+  // under jittered exponential backoff (busy_backoff). The inflight cap
+  // itself adapts between min_window and window by decided rate (AIMD:
+  // +1 per decision, halved when a Phase-2 retry interval passes without
+  // the ring draining) so a slow ring does not pin max-window memory.
+  std::size_t max_pending = 16 * 1024;
+  std::size_t min_window = 64;
+  TimeNs busy_retry_hint = 5 * kMillisecond;  // floor sent with MsgBusy
+  BackoffParams busy_backoff;
 
   TimeNs phase2_retry = 500 * kMillisecond;   // coordinator re-send
   TimeNs proposal_retry = 1000 * kMillisecond;  // proposer re-send
@@ -70,6 +84,25 @@ class RingHandler {
   /// Called when a gap cannot be retransmitted because acceptors trimmed
   /// past it: the replica must run full recovery (fetch a remote checkpoint).
   using TrimmedGapFn = std::function<void(GroupId, InstanceId trimmed_to)>;
+  /// Called when a value this handler itself proposed reaches the ordered
+  /// stream (decided + delivered). The smr layer returns flow-control
+  /// credits here; fires exactly once per proposed value.
+  using OwnDeliveredFn = std::function<void(GroupId, const paxos::Value&)>;
+
+  /// Snapshot of the bounded-pipeline state. Coordinator-side fields are
+  /// zero on non-coordinators; the caps bind the steady-state pipeline
+  /// (Phase-1 re-adoption after a view change may transiently exceed the
+  /// inflight window — recovered instances must all restart).
+  struct FlowStats {
+    std::size_t pending_depth = 0;
+    std::size_t pending_hwm = 0;       ///< high watermark of the pending queue
+    std::uint64_t pending_admitted = 0;
+    std::uint64_t shed = 0;            ///< values refused a pending slot
+    std::size_t inflight_depth = 0;
+    std::size_t inflight_hwm = 0;
+    std::size_t window = 0;            ///< current adaptive inflight cap
+    std::uint64_t busy_received = 0;   ///< MsgBusy pushbacks to own proposals
+  };
 
   RingHandler(sim::Process& host, coord::Registry& registry, GroupId ring,
               RingParams params, DeliverFn deliver);
@@ -84,6 +117,7 @@ class RingHandler {
   storage::AcceptorLog* log() { return log_.get(); }
 
   void set_trimmed_gap_handler(TrimmedGapFn fn) { on_trimmed_gap_ = std::move(fn); }
+  void set_own_delivered(OwnDeliveredFn fn) { on_own_delivered_ = std::move(fn); }
 
   /// Detaches this handler from the ring: resigns any coordinator role,
   /// stops watching the registry, and turns every message/timer path into a
@@ -119,6 +153,7 @@ class RingHandler {
   std::size_t buffered() const { return decided_buffer_.size(); }
   InstanceId decision_hint() const { return pending_decision_hint_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
+  FlowStats flow_stats() const;
 
  private:
   friend class CoordinatorOps;
@@ -136,8 +171,11 @@ class RingHandler {
     bool phase1_done = false;
     Round round = 0;
     InstanceId next_instance = 0;
-    std::deque<paxos::Value> pending;          // waiting for window
+    std::deque<paxos::Value> pending;          // waiting for window (bounded)
     InstanceMap<Inflight> inflight;            // proposed, undecided
+    std::size_t window = 0;                    // adaptive inflight cap
+    std::size_t inflight_hwm = 0;
+    QueueStats pending_stats;                  // depth hwm + admitted/shed
     std::map<ProcessId, MsgPhase1B> phase1_replies;
     std::unordered_set<ValueId, ValueIdHash> known_ids;  // dedup (bounded)
     std::deque<ValueId> known_order;
@@ -147,6 +185,8 @@ class RingHandler {
   struct OwnProposal {
     paxos::Value value;
     TimeNs sent_at = 0;
+    std::uint32_t busy_attempts = 0;  // consecutive MsgBusy pushbacks
+    TimeNs next_retry = 0;            // backoff gate for the retry tick
   };
 
   // --- member/acceptor paths (ring_process.cpp) ---
@@ -157,6 +197,9 @@ class RingHandler {
   void handle_retransmit_req(ProcessId from, const MsgRetransmitReq& m);
   void handle_retransmit_reply(const MsgRetransmitReply& m);
   void handle_trim(const MsgTrim& m);
+  void handle_busy(const MsgBusy& m);
+  void apply_busy(const ValueId& id, TimeNs retry_after);
+  void resend_own(OwnProposal& p);
   void proposal_retry_tick();
   void learn(InstanceId instance, const paxos::Value& value);
   void flush_ordered();
@@ -174,6 +217,7 @@ class RingHandler {
   void handle_phase1b(const MsgPhase1B& m);
   void maybe_finish_phase1();
   void coordinator_enqueue(paxos::Value v);
+  void shed_value(const paxos::Value& v);
   void drain_pending();
   void start_instance(InstanceId instance, paxos::Value v);
   void coordinator_on_decision(InstanceId instance, const paxos::Value& v);
@@ -187,6 +231,7 @@ class RingHandler {
   RingParams params_;
   DeliverFn deliver_;
   TrimmedGapFn on_trimmed_gap_;
+  OwnDeliveredFn on_own_delivered_;
 
   coord::RingView view_;
   std::unique_ptr<storage::AcceptorLog> log_;  // present iff configured acceptor
@@ -219,6 +264,7 @@ class RingHandler {
   std::uint64_t decided_count_ = 0;
   std::uint64_t skips_decided_ = 0;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t busy_received_ = 0;
 };
 
 }  // namespace mrp::ringpaxos

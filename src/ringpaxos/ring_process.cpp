@@ -112,24 +112,29 @@ ValueId RingHandler::propose(Payload payload) {
   return v.id;
 }
 
+void RingHandler::resend_own(OwnProposal& p) {
+  p.sent_at = host_.now();
+  if (is_coordinator() && coord_.active) {
+    coordinator_enqueue(p.value);
+    return;
+  }
+  auto msg = std::make_shared<MsgProposal>();
+  msg->ring = ring_;
+  msg->ttl = ttl_for(view_);
+  msg->value = p.value;
+  if (view_.contains(host_.id())) {
+    forward(std::move(msg));
+  } else if (view_.coordinator != kNoProcess) {
+    host_.send(view_.coordinator, std::move(msg));
+  }
+}
+
 void RingHandler::proposal_retry_tick() {
   const TimeNs now = host_.now();
   for (auto& [id, p] : own_proposals_) {
     if (now - p.sent_at < params_.proposal_retry) continue;
-    p.sent_at = now;
-    if (is_coordinator() && coord_.active) {
-      coordinator_enqueue(p.value);
-      continue;
-    }
-    auto msg = std::make_shared<MsgProposal>();
-    msg->ring = ring_;
-    msg->ttl = ttl_for(view_);
-    msg->value = p.value;
-    if (view_.contains(host_.id())) {
-      forward(msg);
-    } else if (view_.coordinator != kNoProcess) {
-      host_.send(view_.coordinator, msg);
-    }
+    if (now < p.next_retry) continue;  // backing off after MsgBusy pushback
+    resend_own(p);
   }
 }
 
@@ -160,9 +165,54 @@ void RingHandler::handle(ProcessId from, const sim::Message& m) {
     case kMsgTrim:
       handle_trim(sim::msg_cast<MsgTrim>(m));
       return;
+    case kMsgBusy:
+      handle_busy(sim::msg_cast<MsgBusy>(m));
+      return;
     default:
       MRP_CHECK_MSG(false, "unknown ring message kind");
   }
+}
+
+void RingHandler::handle_busy(const MsgBusy& m) {
+  apply_busy(m.id, m.retry_after);
+}
+
+void RingHandler::apply_busy(const ValueId& id, TimeNs retry_after) {
+  auto it = own_proposals_.find(id);
+  if (it == own_proposals_.end()) return;  // decided (or resolved) meanwhile
+  ++busy_received_;
+  OwnProposal& p = it->second;
+  ++p.busy_attempts;
+  const TimeNs delay = std::max(
+      retry_after,
+      jittered_backoff(p.busy_attempts, params_.busy_backoff, host_.rng()));
+  p.next_retry = host_.now() + delay;
+  // Re-forward when the backoff elapses rather than waiting for the (much
+  // slower) proposal_retry tick: the shed value holds admission credits at
+  // the layer above, so a prompt bounded retry is what keeps the pipeline
+  // flowing at the configured caps. The timer dies with the process; a
+  // missed resend is still covered by proposal_retry_tick.
+  const ValueId vid = id;
+  host_.after(delay, [this, vid] {
+    if (detached_) return;
+    auto lookup = own_proposals_.find(vid);
+    if (lookup == own_proposals_.end()) return;  // resolved meanwhile
+    if (host_.now() < lookup->second.next_retry) return;  // superseded
+    resend_own(lookup->second);
+  });
+}
+
+RingHandler::FlowStats RingHandler::flow_stats() const {
+  FlowStats s;
+  s.pending_depth = coord_.pending.size();
+  s.pending_hwm = coord_.pending_stats.high_watermark();
+  s.pending_admitted = coord_.pending_stats.admitted();
+  s.shed = coord_.pending_stats.shed();
+  s.inflight_depth = coord_.inflight.size();
+  s.inflight_hwm = coord_.inflight_hwm;
+  s.window = coord_.window;
+  s.busy_received = busy_received_;
+  return s;
 }
 
 void RingHandler::on_view(const coord::RingView& v) {
@@ -354,7 +404,9 @@ void RingHandler::flush_ordered() {
     }
     const paxos::Value v = decided_buffer_.pop_front();
     deliver_(ring_, inst, v);
-    own_proposals_.erase(v.id);
+    if (own_proposals_.erase(v.id) > 0 && on_own_delivered_) {
+      on_own_delivered_(ring_, v);  // return flow-control credits
+    }
     next_delivery_ = inst + span;
     last_progress_ = host_.now();
   }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <typeindex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -113,15 +114,21 @@ class Env {
 
   // --- stable storage (survives crashes) ---
   /// Typed named slot tied to a process; default-constructed on first use.
+  /// The slot remembers the type it was created with: reusing a key with a
+  /// different T would otherwise static_cast onto someone else's object —
+  /// silent undefined behaviour — so it aborts loudly instead.
   template <class T>
   T& stable(ProcessId id, const std::string& key) {
-    auto& slot = stable_[{id, key}];
-    if (!slot) {
-      slot = std::shared_ptr<void>(new T(), [](void* p) {
+    StableSlot& slot = stable_[{id, key}];
+    if (!slot.ptr) {
+      slot.ptr = std::shared_ptr<void>(new T(), [](void* p) {
         delete static_cast<T*>(p);
       });
+      slot.type = std::type_index(typeid(T));
     }
-    return *static_cast<T*>(slot.get());
+    MRP_CHECK_MSG(slot.type == std::type_index(typeid(T)),
+                  "Env::stable slot reused with a different type");
+    return *static_cast<T*>(slot.ptr.get());
   }
 
   // --- used by Process ---
@@ -158,11 +165,16 @@ class Env {
   Runtime& rt(ProcessId id);
   const Runtime& rt(ProcessId id) const;
 
+  struct StableSlot {
+    std::shared_ptr<void> ptr;
+    std::type_index type = std::type_index(typeid(void));
+  };
+
   Simulator sim_;
   Network net_;
   std::map<ProcessId, Runtime> runtimes_;
   std::map<std::pair<ProcessId, int>, std::unique_ptr<Disk>> disks_;
-  std::map<std::pair<ProcessId, std::string>, std::shared_ptr<void>> stable_;
+  std::map<std::pair<ProcessId, std::string>, StableSlot> stable_;
 
   ProcessId current_pid_ = kNoProcess;
   TimeNs current_charge_ = 0;

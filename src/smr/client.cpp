@@ -1,5 +1,6 @@
 #include "smr/client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -39,8 +40,15 @@ void ClientNode::on_start() {
 
 void ClientNode::issue_next(std::uint32_t worker) {
   if (stopped_) return;
+  if (options_.max_outstanding > 0 && active_ >= options_.max_outstanding) {
+    parked_.push_back(worker);  // window full: wait for a slot
+    return;
+  }
   std::optional<Request> req = next_(worker);
   if (!req) return;  // worker retired
+  Outstanding& o = workers_[worker];
+  o.busy_attempts = 0;
+  o.reroute_attempts = 0;
   issue_request(worker, std::move(*req), now());
 }
 
@@ -54,15 +62,34 @@ void ClientNode::issue_request(std::uint32_t worker, Request req,
   o.issued_at = issued_at;
   o.results.clear();
   o.target_cursor.assign(o.request.sends.size(), 0);
+  o.retry_attempts = 0;
+  if (o.reserved) {
+    o.reserved = false;  // the reroute held this slot through its backoff
+  } else if (!o.active) {
+    ++active_;
+  }
   o.active = true;
 
   for (std::size_t i = 0; i < o.request.sends.size(); ++i) {
     send_command(worker, i);
   }
-  const std::uint64_t seq = o.seq;
-  after(options_.retry_timeout, [this, worker, seq] {
-    retry_check(worker, seq);
-  });
+  arm_retry(worker, o.seq);
+}
+
+void ClientNode::arm_retry(std::uint32_t worker, std::uint64_t seq) {
+  // The first check fires after exactly retry_timeout; once a request has
+  // been retried, later checks back off exponentially with jitter so a
+  // congested system is not hammered at a fixed period.
+  const Outstanding& o = workers_[worker];
+  const TimeNs delay =
+      o.retry_attempts == 0
+          ? options_.retry_timeout
+          : jittered_backoff(
+                o.retry_attempts,
+                BackoffParams{options_.retry_timeout,
+                              8 * options_.retry_timeout, 0.25},
+                rng());
+  after(delay, [this, worker, seq] { retry_check(worker, seq); });
 }
 
 void ClientNode::send_command(std::uint32_t worker, std::size_t send_index) {
@@ -84,16 +111,62 @@ void ClientNode::retry_check(std::uint32_t worker, std::uint64_t seq) {
   Outstanding& o = workers_[worker];
   if (!o.active || o.seq != seq) return;  // completed meanwhile
   ++retries_;
+  ++o.retry_attempts;
   for (std::size_t i = 0; i < o.request.sends.size(); ++i) {
     o.target_cursor[i]++;  // rotate to the next candidate proposer
     send_command(worker, i);
   }
-  after(options_.retry_timeout, [this, worker, seq] {
-    retry_check(worker, seq);
+  arm_retry(worker, seq);
+}
+
+void ClientNode::handle_busy(const MsgClientBusy& busy) {
+  const auto worker = static_cast<std::uint32_t>(busy.session & 0xfffff);
+  if (worker >= workers_.size()) return;
+  Outstanding& o = workers_[worker];
+  if (!o.active || busy.seq != o.seq) return;  // stale pushback
+  // Requests address each group at most once; find the pushed-back send.
+  std::size_t index = o.request.sends.size();
+  for (std::size_t i = 0; i < o.request.sends.size(); ++i) {
+    if (o.request.sends[i].group == busy.group) {
+      index = i;
+      break;
+    }
+  }
+  if (index == o.request.sends.size()) return;
+  ++busy_pushbacks_;
+  ++o.busy_attempts;
+  o.target_cursor[index]++;  // another candidate may have capacity
+  const TimeNs delay = std::max(
+      busy.retry_after,
+      jittered_backoff(o.busy_attempts, options_.busy_backoff, rng()));
+  const std::uint64_t seq = o.seq;
+  after(delay, [this, worker, index, seq] {
+    Outstanding& o = workers_[worker];
+    if (!o.active || o.seq != seq) return;
+    send_command(worker, index);
   });
 }
 
+void ClientNode::finish(std::uint32_t worker) {
+  Outstanding& o = workers_[worker];
+  o.active = false;
+  if (active_ > 0) --active_;
+}
+
+void ClientNode::maybe_unpark() {
+  while (!parked_.empty() && (options_.max_outstanding == 0 ||
+                              active_ < options_.max_outstanding)) {
+    const std::uint32_t w = parked_.front();
+    parked_.pop_front();
+    issue_next(w);
+  }
+}
+
 void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
+  if (m.kind() == kMsgClientBusy) {
+    handle_busy(sim::msg_cast<MsgClientBusy>(m));
+    return;
+  }
   if (m.kind() != kMsgClientReply) return;
   const auto& reply = sim::msg_cast<MsgClientReply>(m);
   const SessionId session = reply.session;
@@ -105,7 +178,7 @@ void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
   if (!o.results.emplace(reply.partition_tag, reply.result).second) return;
   if (o.results.size() < o.request.expected_partitions) return;
 
-  o.active = false;
+  finish(worker);
   const TimeNs latency = now() - o.issued_at;
   Completion c;
   c.worker = worker;
@@ -115,11 +188,23 @@ void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
   c.latency = latency;
   if (reroute_) {
     // A stale-routing reply is not a completion: the hook refreshes its
-    // routing state and hands back a re-targeted request, which keeps the
-    // original issue time so end-to-end latency stays honest.
+    // routing state and hands back a re-targeted request, re-issued after a
+    // short jittered backoff (the schema publish may still be propagating).
+    // The original issue time is kept so end-to-end latency stays honest.
     if (std::optional<Request> rerouted = reroute_(c)) {
       ++reroutes_;
-      issue_request(worker, std::move(*rerouted), o.issued_at);
+      // The slot stays reserved through the backoff (o.active is false so
+      // stale replies for the finished seq are ignored, but the window
+      // cannot over-admit while the re-issue is pending).
+      o.reserved = true;
+      ++active_;
+      const TimeNs delay = jittered_backoff(++o.reroute_attempts,
+                                            options_.busy_backoff, rng());
+      const TimeNs issued_at = o.issued_at;
+      after(delay, [this, worker, req = std::move(*rerouted),
+                    issued_at]() mutable {
+        issue_request(worker, std::move(req), issued_at);
+      });
       return;
     }
   }
@@ -133,6 +218,7 @@ void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
   } else {
     issue_next(worker);
   }
+  maybe_unpark();
 }
 
 }  // namespace mrp::smr

@@ -9,15 +9,24 @@
 //
 // Retries: if a send has no reply after retry_timeout, the same command
 // (same session/seq — replicas deduplicate) is re-sent to the next target
-// replica in the send's target list.
+// replica in the send's target list; subsequent retries of the same request
+// back off with deterministic jitter (common/backoff.hpp).
+//
+// Flow control: `max_outstanding` caps the requests in flight across all
+// workers — a worker that wants to issue while the window is full parks
+// until a slot frees. A MsgClientBusy pushback (proposer admission window
+// full) re-sends that command after jittered exponential backoff, rotated
+// to the next candidate proposer.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/histogram.hpp"
 #include "common/types.hpp"
 #include "sim/env.hpp"
@@ -70,6 +79,27 @@ class ClientNode : public sim::Process {
     /// the offered load stays ~workers/think_time while the system keeps
     /// up. 0 = pure closed loop.
     TimeNs think_time = 0;
+    /// Outstanding-request window across all workers: a worker that wants
+    /// to issue while this many requests are active parks until a slot
+    /// frees. 0 = no global cap (each worker still has at most one
+    /// outstanding request).
+    std::uint32_t max_outstanding = 0;
+    /// Backoff for MsgClientBusy pushback re-sends and reroute re-issues
+    /// (attempt-indexed, jittered from the run's seeded rng).
+    BackoffParams busy_backoff{2 * kMillisecond, kSecond, 0.5};
+
+    /// Flow-controlled client options: `workers` sessions sharing an
+    /// outstanding-request window of `max_outstanding` commands (0 =
+    /// uncapped). The service clients (StoreClient, DLogClient) expose
+    /// this as their `client_options`.
+    static Options flow(std::uint32_t workers, std::uint32_t max_outstanding,
+                        TimeNs retry_timeout = 2 * kSecond) {
+      Options o;
+      o.workers = workers;
+      o.retry_timeout = retry_timeout;
+      o.max_outstanding = max_outstanding;
+      return o;
+    }
   };
 
   ClientNode(sim::Env& env, ProcessId id, Options options, NextFn next,
@@ -85,6 +115,12 @@ class ClientNode : public sim::Process {
   std::uint64_t retries() const { return retries_; }
   /// Requests re-issued by the reroute hook (schema refreshes).
   std::uint64_t reroutes() const { return reroutes_; }
+  /// MsgClientBusy pushbacks received (per-command, before backoff re-send).
+  std::uint64_t busy_pushbacks() const { return busy_pushbacks_; }
+  /// Requests currently in flight (active outstanding entries).
+  std::uint32_t outstanding() const { return active_; }
+  /// Workers currently parked waiting for an outstanding-window slot.
+  std::size_t parked() const { return parked_.size(); }
   const Histogram& latency_histogram() const { return latency_; }
   Histogram& latency_histogram() { return latency_; }
 
@@ -99,22 +135,33 @@ class ClientNode : public sim::Process {
     std::map<int, Bytes> results;
     std::vector<std::size_t> target_cursor;  // per send
     bool active = false;
+    bool reserved = false;              // window slot held across a reroute
+    std::uint32_t busy_attempts = 0;    // MsgClientBusy pushbacks, this op
+    std::uint32_t retry_attempts = 0;   // timeout retries, this request
+    std::uint32_t reroute_attempts = 0; // reroute re-issues, this op
   };
 
   void issue_next(std::uint32_t worker);
   void issue_request(std::uint32_t worker, Request req, TimeNs issued_at);
   void send_command(std::uint32_t worker, std::size_t send_index);
   void retry_check(std::uint32_t worker, std::uint64_t seq);
+  void arm_retry(std::uint32_t worker, std::uint64_t seq);
+  void handle_busy(const MsgClientBusy& busy);
+  void finish(std::uint32_t worker);
+  void maybe_unpark();
 
   Options options_;
   NextFn next_;
   DoneFn done_;
   RerouteFn reroute_;
   std::vector<Outstanding> workers_;
+  std::deque<std::uint32_t> parked_;  // workers waiting for a window slot
+  std::uint32_t active_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t reroutes_ = 0;
+  std::uint64_t busy_pushbacks_ = 0;
   bool stopped_ = false;
   Histogram latency_;
 };

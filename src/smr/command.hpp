@@ -22,6 +22,7 @@ namespace mrp::smr {
 
 constexpr int kMsgClientRequest = 300;
 constexpr int kMsgClientReply = 301;
+constexpr int kMsgClientBusy = 302;
 
 using SessionId = std::uint64_t;
 
@@ -72,6 +73,19 @@ struct MsgClientReply final : sim::Message {
   Bytes result;
   int kind() const override { return kMsgClientReply; }
   std::size_t wire_size() const override { return 28 + result.size(); }
+};
+
+/// Proposer -> client pushback: the replica's per-group admission window is
+/// full and the command was NOT proposed. The client re-sends the same
+/// command (rotating to the next candidate proposer) no sooner than
+/// `retry_after`, with jittered exponential backoff layered on top.
+struct MsgClientBusy final : sim::Message {
+  SessionId session = 0;
+  std::uint64_t seq = 0;
+  GroupId group = -1;
+  TimeNs retry_after = 0;
+  int kind() const override { return kMsgClientBusy; }
+  std::size_t wire_size() const override { return 32; }
 };
 
 }  // namespace mrp::smr

@@ -1,5 +1,6 @@
 #include "smr/replica.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -63,12 +64,13 @@ void ReplicaNode::enqueue_request(GroupId group, const Command& c) {
       now() - s.proposed_at < options_.proposal_guard) {
     return;  // duplicate of a recent in-flight proposal
   }
+  if (!admit(group, c)) return;  // admission window full: client pushed back
   s.proposed_seq = c.seq;
   s.proposed_at = now();
   if (options_.batch_delay == 0) {
     Batch b;
     b.commands.push_back(c);
-    multicast(group, Payload(encode_batch(b)));
+    multicast_batch(group, std::move(b));
     return;
   }
   PendingBatch& pb = pending_[group];
@@ -84,6 +86,32 @@ void ReplicaNode::enqueue_request(GroupId group, const Command& c) {
   }
 }
 
+bool ReplicaNode::admit(GroupId group, const Command& c) {
+  GroupFlow& gf = flow_[group];
+  const std::size_t bytes = c.wire_size();
+  const bool over_commands = options_.admission_commands > 0 &&
+                             gf.commands + 1 > options_.admission_commands;
+  const bool over_bytes = options_.admission_bytes > 0 &&
+                          gf.bytes + bytes > options_.admission_bytes;
+  if (over_commands || over_bytes) {
+    // Out of credits: push back instead of queueing. The command was not
+    // proposed, so the client's backed-off re-send is a fresh attempt (and
+    // may land on a less loaded candidate proposer).
+    gf.stats.on_shed();
+    auto busy = std::make_shared<MsgClientBusy>();
+    busy->session = c.session;
+    busy->seq = c.seq;
+    busy->group = group;
+    busy->retry_after = options_.busy_retry_hint;
+    send(session_client(c.session), busy);
+    return false;
+  }
+  gf.commands += 1;
+  gf.bytes += bytes;
+  gf.stats.on_admit(gf.commands);
+  return true;
+}
+
 void ReplicaNode::flush_batch(GroupId group) {
   auto it = pending_.find(group);
   if (it == pending_.end() || it->second.batch.commands.empty()) {
@@ -92,7 +120,38 @@ void ReplicaNode::flush_batch(GroupId group) {
   }
   Batch batch = std::move(it->second.batch);
   it->second = PendingBatch{};
-  multicast(group, Payload(encode_batch(batch)));
+  multicast_batch(group, std::move(batch));
+}
+
+void ReplicaNode::multicast_batch(GroupId group, Batch batch) {
+  std::size_t bytes = 0;
+  for (const Command& c : batch.commands) bytes += c.wire_size();
+  const std::size_t commands = batch.commands.size();
+  const ValueId vid = multicast(group, Payload(encode_batch(batch)));
+  // The batch's admission credits ride on its value id until the ring
+  // delivers it back (on_own_value_delivered).
+  outstanding_values_[{group, vid}] = {bytes, commands};
+}
+
+void ReplicaNode::on_own_value_delivered(GroupId group, const paxos::Value& v) {
+  auto it = outstanding_values_.find({group, v.id});
+  if (it == outstanding_values_.end()) return;  // not an smr batch of ours
+  GroupFlow& gf = flow_[group];
+  gf.bytes -= std::min(gf.bytes, it->second.first);
+  gf.commands -= std::min(gf.commands, it->second.second);
+  outstanding_values_.erase(it);
+}
+
+ReplicaNode::AdmissionStats ReplicaNode::admission_stats(GroupId group) const {
+  AdmissionStats s;
+  auto it = flow_.find(group);
+  if (it == flow_.end()) return s;
+  s.outstanding_commands = it->second.commands;
+  s.outstanding_bytes = it->second.bytes;
+  s.commands_hwm = it->second.stats.high_watermark();
+  s.admitted = it->second.stats.admitted();
+  s.shed = it->second.stats.shed();
+  return s;
 }
 
 void ReplicaNode::deliver(GroupId group, InstanceId /*instance*/,

@@ -16,7 +16,9 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
+#include "common/metrics.hpp"
 #include "multiring/node.hpp"
 #include "recovery/checkpointing.hpp"
 #include "recovery/trim.hpp"
@@ -33,6 +35,16 @@ struct ReplicaOptions {
   /// Minimum interval before this replica re-proposes a duplicate command
   /// it has already multicast (client retry suppression).
   TimeNs proposal_guard = kSecond;
+  /// Per-group admission window (credit-based flow control): at most this
+  /// many admitted-but-undelivered command bytes / commands per group —
+  /// covering both the pending batch and every multicast batch the ring has
+  /// not yet delivered back. An over-window client request earns a
+  /// MsgClientBusy pushback instead of queueing without bound. 0 disables
+  /// the respective cap.
+  std::size_t admission_bytes = 4 * 1024 * 1024;
+  std::size_t admission_commands = 16 * 1024;
+  /// retry_after floor sent with MsgClientBusy pushback replies.
+  TimeNs busy_retry_hint = 5 * kMillisecond;
   int partition_tag = 0;  // identifies this replica's partition in replies
   recovery::CheckpointerOptions checkpoint;
   recovery::TrimOptions trim;
@@ -52,9 +64,20 @@ class ReplicaNode : public multiring::MultiRingNode {
   recovery::TrimProtocol& trim_protocol() { return *trim_; }
   std::uint64_t executed() const { return executed_; }
 
+  /// Snapshot of one group's admission window (credit-based flow control).
+  struct AdmissionStats {
+    std::size_t outstanding_commands = 0;  ///< admitted, not yet delivered
+    std::size_t outstanding_bytes = 0;
+    std::size_t commands_hwm = 0;          ///< high watermark of the above
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;                ///< MsgClientBusy pushbacks sent
+  };
+  AdmissionStats admission_stats(GroupId group) const;
+
  protected:
   void on_app_message(ProcessId from, const sim::Message& m) override;
   void on_trimmed_gap(GroupId group, InstanceId trimmed_to) override;
+  void on_own_value_delivered(GroupId group, const paxos::Value& v) override;
 
   /// Applies one ordered command to the service state machine (called in
   /// delivery order, after session dedup). Subclasses interpose here for
@@ -81,11 +104,20 @@ class ReplicaNode : public multiring::MultiRingNode {
     std::size_t bytes = 0;
     bool timer_armed = false;
   };
+  /// Credit accounting for one group: commands admitted into the pipeline
+  /// (pending batch + multicast-but-undelivered) and the gauge over them.
+  struct GroupFlow {
+    std::size_t commands = 0;
+    std::size_t bytes = 0;
+    QueueStats stats;
+  };
 
   void deliver(GroupId group, InstanceId instance, const Payload& payload);
   void execute(GroupId group, const Command& c);
   void enqueue_request(GroupId group, const Command& c);
+  bool admit(GroupId group, const Command& c);
   void flush_batch(GroupId group);
+  void multicast_batch(GroupId group, Batch batch);
   Bytes snapshot_state() const;
   void restore_state(const Bytes& data);
 
@@ -96,6 +128,11 @@ class ReplicaNode : public multiring::MultiRingNode {
   std::unique_ptr<recovery::TrimProtocol> trim_;
   std::unordered_map<SessionId, Session> sessions_;
   std::map<GroupId, PendingBatch> pending_;
+  std::map<GroupId, GroupFlow> flow_;
+  /// Per multicast value: the command bytes/count whose credits it holds,
+  /// returned when the ring delivers the value back (exactly once).
+  std::map<std::pair<GroupId, ValueId>, std::pair<std::size_t, std::size_t>>
+      outstanding_values_;
   std::uint64_t executed_ = 0;
 };
 

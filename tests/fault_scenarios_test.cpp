@@ -466,9 +466,8 @@ DlogScenarioResult scenario_dlog_chaos(std::uint64_t seed) {
 
   // Highest acked position per log (from append/multi-append replies).
   auto acked = std::make_shared<std::map<dlog::LogId, dlog::Position>>();
-  smr::ClientNode::Options copts;
-  copts.workers = 4;
-  copts.retry_timeout = kSecond;
+  // dLog's flow-control client options (window + jittered backoff).
+  smr::ClientNode::Options copts = dlog::DLogClient::client_options(4, 4, kSecond);
   auto* cnode = env.spawn<smr::ClientNode>(
       990, copts,
       smr::ClientNode::NextFn([&client, n = 0](std::uint32_t) mutable
@@ -634,6 +633,152 @@ TEST(FaultScenarios, ElasticSplitUnderChaosIsDeterministic) {
   // runs rerouted identically.
   EXPECT_GE(r1.reroutes, 1u);
   EXPECT_EQ(r1.reroutes, r2.reroutes);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 9: sustained overload against tight flow-control caps while one
+// acceptor's log device crawls (a slow ring). The bounded pipeline must
+// shed at every layer — replica admission window (MsgClientBusy), the
+// coordinator's bounded pending queue (MsgBusy) — without any queue ever
+// exceeding its cap, keep every acked write durable, resume full service
+// once the disk recovers, and replay bit-identically.
+
+struct OverloadScenarioResult {
+  fault::ScenarioReport report;
+  std::uint64_t completions = 0;
+  std::uint64_t busy_pushbacks = 0;
+  std::uint64_t sheds = 0;
+};
+
+OverloadScenarioResult scenario_overload_slow_ring(std::uint64_t seed) {
+  sim::Env env(seed);
+  coord::Registry registry(env, 50 * kMillisecond);
+  mrpstore::StoreOptions so = chaos_store_options();
+  // Tight bounded pipeline: a fraction of what 48 closed-loop workers offer.
+  // Synchronous acceptor logs on SSDs make the ring disk-bound, so the
+  // disk_slow fault genuinely slows the ring; checkpoints go to their own
+  // device so the pipeline fault cannot wedge the checkpointer.
+  so.ring_params.write_mode = storage::WriteMode::Sync;
+  so.ring_params.window = 32;
+  so.ring_params.min_window = 4;
+  so.ring_params.max_pending = 64;
+  so.ring_params.busy_retry_hint = 2 * kMillisecond;
+  so.replica_options.admission_commands = 24;
+  so.replica_options.admission_bytes = 32 * 1024;
+  so.replica_options.busy_retry_hint = 2 * kMillisecond;
+  so.replica_options.checkpoint.disk_index = 1;
+  auto dep = mrpstore::build_store(env, registry, so);
+  for (ProcessId r : dep.all_replicas()) {
+    env.set_cpu(r, sim::CpuParams{from_micros(5.0), 1.2});
+    env.set_disk_params(r, 0, sim::DiskParams::ssd());
+    env.set_disk_params(r, 1, sim::DiskParams::ssd());
+  }
+  mrpstore::StoreClient helper(dep);
+  auto acked = std::make_shared<std::vector<std::string>>();
+
+  // The store's own flow-control client options (window + jittered backoff).
+  smr::ClientNode::Options copts =
+      mrpstore::StoreClient::client_options(48, 36, 500 * kMillisecond);
+  auto* client = env.spawn<smr::ClientNode>(
+      990, copts,
+      smr::ClientNode::NextFn([&helper, n = 0](std::uint32_t) mutable
+                              -> std::optional<smr::Request> {
+        return helper.insert("ov" + std::to_string(n++), to_bytes("v"));
+      }),
+      smr::ClientNode::DoneFn([acked](const smr::Completion& c) {
+        const auto op = mrpstore::decode_op(c.op);
+        for (const auto& [tag, reply] : c.results) {
+          if (mrpstore::decode_result(reply).status == mrpstore::Status::kOk) {
+            acked->push_back(op.key);
+            break;
+          }
+        }
+      }));
+
+  // Slow ring: the second acceptor's log device degrades 25x mid-run, then
+  // recovers — the adaptive inflight window must shrink instead of pinning
+  // undecided instances, and service must come back afterwards.
+  const ProcessId slow = dep.replicas[0][1];
+  fault::FaultPlan plan;
+  plan.disk_slow(3 * kSecond, slow, 0, 25.0);
+  plan.disk_slow(8 * kSecond, slow, 0, 1.0);
+
+  fault::ScenarioRunner runner(env, std::move(plan));
+  fault::watch_store(runner, env, dep);
+  runner.watch_progress("client", [client] { return client->completed(); });
+  add_acked_invariant(runner, env, dep, acked);
+  runner.add_invariant(
+      "queues-bounded", [&env, &dep, &so]() -> std::optional<std::string> {
+        for (ProcessId r : dep.all_replicas()) {
+          if (!env.is_alive(r)) continue;
+          auto* rep = env.process_as<smr::ReplicaNode>(r);
+          for (GroupId g : dep.partition_groups) {
+            const auto adm = rep->admission_stats(g);
+            if (adm.commands_hwm > so.replica_options.admission_commands) {
+              return "replica " + std::to_string(r) +
+                     " admission hwm " + std::to_string(adm.commands_hwm) +
+                     " exceeds cap";
+            }
+            if (auto* h = rep->handler(g)) {
+              const auto flow = h->flow_stats();
+              if (flow.pending_hwm > so.ring_params.max_pending) {
+                return "ring " + std::to_string(g) + " pending hwm " +
+                       std::to_string(flow.pending_hwm) + " exceeds cap";
+              }
+              if (flow.inflight_hwm > so.ring_params.window) {
+                return "ring " + std::to_string(g) + " inflight hwm " +
+                       std::to_string(flow.inflight_hwm) + " exceeds window";
+              }
+            }
+          }
+        }
+        return std::nullopt;
+      });
+  runner.add_invariant(
+      "pushback-exercised",
+      [&env, &dep, client]() -> std::optional<std::string> {
+        std::uint64_t sheds = 0;
+        for (ProcessId r : dep.all_replicas()) {
+          if (!env.is_alive(r)) continue;
+          auto* rep = env.process_as<smr::ReplicaNode>(r);
+          for (GroupId g : dep.partition_groups) {
+            sheds += rep->admission_stats(g).shed;
+          }
+        }
+        if (sheds == 0) return "no admission-window shed happened";
+        if (client->busy_pushbacks() == 0) return "client saw no pushback";
+        return std::nullopt;
+      });
+  runner.set_quiesce([client] { client->stop(); });
+
+  OverloadScenarioResult out;
+  out.report = runner.run(12 * kSecond, 8 * kSecond);
+  out.completions = client->completed();
+  out.busy_pushbacks = client->busy_pushbacks();
+  for (ProcessId r : dep.all_replicas()) {
+    if (!env.is_alive(r)) continue;
+    auto* rep = env.process_as<smr::ReplicaNode>(r);
+    for (GroupId g : dep.partition_groups) {
+      out.sheds += rep->admission_stats(g).shed;
+    }
+  }
+  return out;
+}
+
+TEST(FaultScenarios, OverloadWithSlowRingShedsBoundedAndReplays) {
+  auto r1 = scenario_overload_slow_ring(7010);
+  auto r2 = scenario_overload_slow_ring(7010);
+  EXPECT_TRUE(r1.report.ok()) << r1.report.violations_text();
+  EXPECT_EQ(r1.report.trace, r2.report.trace)
+      << "overload schedule not reproducible";
+  EXPECT_EQ(r1.report.state_digest, r2.report.state_digest)
+      << "same-seed overload run diverged";
+  EXPECT_GT(r1.completions, 100u);
+  // The shed/backoff machinery itself must replay identically too.
+  EXPECT_EQ(r1.completions, r2.completions);
+  EXPECT_EQ(r1.busy_pushbacks, r2.busy_pushbacks);
+  EXPECT_EQ(r1.sheds, r2.sheds);
+  EXPECT_GT(r1.busy_pushbacks, 0u);
 }
 
 // ---------------------------------------------------------------------------
