@@ -178,6 +178,14 @@ inline void append_json_number(std::string& out, double v) {
 
 }  // namespace detail
 
+/// Collects a bench run's config, per-row metrics and latency summaries and
+/// writes them as BENCH_<name>.json (schema_version 2) under $MRP_BENCH_OUT.
+///
+/// Wall-clock timing (wall_seconds, and everything derived from it such as
+/// events_per_second) uses std::chrono::steady_clock — monotonic, immune to
+/// NTP slews and wall-time jumps — measured from construction to json().
+/// This matters for the real-network benches (fig11_realnet), whose numbers
+/// are wall-clock rates rather than simulated-time rates.
 class BenchReporter {
  public:
   /// One scalar: either a number or a string. Kept in insertion order.

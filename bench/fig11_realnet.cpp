@@ -1,0 +1,197 @@
+// Figure 11 (repo extension) — real-network ring over loopback TCP.
+//
+// Every other bench drives the protocol on the deterministic simulator; this
+// one deploys the very same objects on the ThreadRuntime backend: a ring of
+// >= 3 processes (replicas, all acceptors) plus a closed-loop client, one
+// event-loop thread per process, every message serialized through net/wire
+// onto real nonblocking loopback TCP sockets. Reported numbers are
+// wall-clock: ops/s over the measurement window and real end-to-end command
+// latency (p50/p99) from the client's histogram.
+//
+// This measures the runtime layer itself (framing, poll loop, timer heap,
+// cross-thread staging) — loopback TCP has no propagation delay, so the
+// absolute numbers are an upper bound for any real network, not a paper
+// comparison point.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "coord/registry.hpp"
+#include "net/wire.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+namespace {
+
+using namespace mrp;
+
+constexpr GroupId kRing = 0;
+constexpr ProcessId kClient = 500;
+
+/// Echo service: acknowledges every command with its sequence count.
+class EchoSm final : public smr::StateMachine {
+ public:
+  Bytes apply(GroupId, const Bytes&) override {
+    ++applied_;
+    return to_bytes(std::to_string(applied_));
+  }
+  Bytes snapshot() const override { return to_bytes(std::to_string(applied_)); }
+  void restore(const Bytes& s) override {
+    applied_ = std::stoull(mrp::to_string(s));
+  }
+
+ private:
+  std::uint64_t applied_ = 0;
+};
+
+struct Args {
+  int processes = 3;
+  std::uint32_t workers = 8;
+  double warmup_seconds = 1.0;
+  double measure_seconds = 5.0;
+  std::size_t payload = 128;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto val = [&s](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return s.compare(0, n, key) == 0 ? s.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--processes=")) {
+      a.processes = std::atoi(v);
+    } else if (const char* v = val("--workers=")) {
+      a.workers = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = val("--warmup=")) {
+      a.warmup_seconds = std::atof(v);
+    } else if (const char* v = val("--seconds=")) {
+      a.measure_seconds = std::atof(v);
+    } else if (const char* v = val("--payload=")) {
+      a.payload = static_cast<std::size_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig11_realnet [--processes=N>=3] [--workers=W]\n"
+                   "                     [--warmup=S] [--seconds=S] "
+                   "[--payload=BYTES]\n");
+      std::exit(2);
+    }
+  }
+  if (a.processes < 3) {
+    std::fprintf(stderr, "fig11_realnet: need at least 3 ring processes\n");
+    std::exit(2);
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  bench::BenchReporter report("fig11_realnet");
+  report.config("backend", "thread+tcp-loopback")
+      .config("processes", args.processes)
+      .config("workers", args.workers)
+      .config("payload_bytes", static_cast<double>(args.payload))
+      .config("warmup_seconds", args.warmup_seconds)
+      .config("measure_seconds", args.measure_seconds);
+
+  runtime::ThreadClusterOptions opts;
+  opts.seed = 42;
+  opts.codec = net::wire_codec();
+  runtime::ThreadCluster cluster(opts);
+
+  coord::Registry registry(cluster.add_oracle(coord::kRegistrySender),
+                           100 * kMillisecond);
+
+  coord::RingConfig cfg;
+  cfg.ring = kRing;
+  std::vector<ProcessId> members;
+  for (int p = 1; p <= args.processes; ++p) members.push_back(p);
+  cfg.order = members;
+  cfg.acceptors = {members.begin(), members.end()};
+  registry.create_ring(cfg);
+
+  multiring::NodeConfig node_cfg;
+  node_cfg.rings.push_back(multiring::RingSub{kRing, {}, true});
+  for (ProcessId r : members) {
+    cluster.add_local(r, [&registry, node_cfg](runtime::Runtime& rt) {
+      return std::make_unique<smr::ReplicaNode>(
+          rt, &registry, node_cfg,
+          smr::StateMachineFactory([](runtime::Runtime&, ProcessId) {
+            return std::make_unique<EchoSm>();
+          }),
+          smr::ReplicaOptions{});
+    });
+  }
+
+  const Bytes op(args.payload, 0xab);
+  smr::ClientNode* client = nullptr;
+  cluster.add_local(kClient, [&client, &members, &op,
+                              &args](runtime::Runtime& rt) {
+    smr::ClientNode::Options copts;
+    copts.workers = args.workers;
+    copts.retry_timeout = kSecond;
+    auto node = std::make_unique<smr::ClientNode>(
+        rt, copts,
+        smr::ClientNode::NextFn([&members, &op](std::uint32_t) {
+          return smr::Request::single(kRing, members, op);
+        }),
+        smr::ClientNode::DoneFn(nullptr));
+    client = node.get();
+    return node;
+  });
+
+  bench::print_header("fig11_realnet — ring over loopback TCP");
+  std::printf("  %d processes, %u closed-loop workers, %zu B payload\n",
+              args.processes, args.workers, args.payload);
+
+  cluster.start();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(args.warmup_seconds));
+
+  // Measurement window: snapshot + reset on the client's own loop thread.
+  std::uint64_t completed0 = 0;
+  cluster.call(kClient, [&](runtime::Node*) {
+    completed0 = client->completed();
+    client->latency_histogram().clear();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(args.measure_seconds));
+  std::uint64_t completed1 = 0;
+  Histogram latency;
+  cluster.call(kClient, [&](runtime::Node*) {
+    completed1 = client->completed();
+    latency = client->latency_histogram();
+    client->stop();
+  });
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  cluster.stop();
+
+  const std::uint64_t ops = completed1 - completed0;
+  const double ops_per_sec = elapsed > 0 ? static_cast<double>(ops) / elapsed
+                                         : 0.0;
+  std::printf("  %10.0f ops/s   p50 %.3f ms   p99 %.3f ms   (%llu ops in "
+              "%.2f s)\n",
+              ops_per_sec, static_cast<double>(latency.quantile(0.50)) / 1e6,
+              static_cast<double>(latency.quantile(0.99)) / 1e6,
+              static_cast<unsigned long long>(ops), elapsed);
+
+  report.row("realnet")
+      .metric("ops_per_sec", ops_per_sec)
+      .metric("completed", static_cast<double>(ops))
+      .metric("elapsed_seconds", elapsed)
+      .latency(latency);
+  return report.write() ? 0 : 1;
+}

@@ -97,7 +97,7 @@ Point run(int regions) {
     ro.batch_delay = 10 * kMillisecond;  // the 32 KB batching proxy
     env.spawn<smr::ReplicaNode>(
         replicas[static_cast<std::size_t>(i)], &registry, rcfg,
-        smr::StateMachineFactory([](sim::Env&, ProcessId) {
+        smr::StateMachineFactory([](runtime::Runtime&, ProcessId) {
           return std::make_unique<mrpstore::KvStateMachine>();
         }),
         ro);

@@ -1,0 +1,242 @@
+// mrpctl — launcher/driver for a real multi-process deployment on loopback.
+//
+// Spawns one mrpd OS process per ring member, waits for every daemon's
+// READY line, then acts as the client: a closed-loop ClientNode on its own
+// ThreadRuntime issuing `--ops` counter increments against the ring over
+// real TCP. Exactly-once is checked end-to-end (the final counter value must
+// equal the number of completed increments). Teardown is by construction:
+// each daemon serves until its stdin pipe (held by this process) closes.
+//
+//   mrpctl [--replicas=3] [--ops=200] [--workers=4] [--base-port=P]
+//          [--mrpd=path/to/mrpd] [--storage-dir=DIR]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "smr/client.hpp"
+
+namespace {
+
+using namespace mrp;
+
+constexpr GroupId kRing = 0;
+constexpr ProcessId kClient = 500;
+
+struct Daemon {
+  pid_t pid = -1;
+  int in_fd = -1;    // daemon's stdin: closing it shuts the daemon down
+  FILE* out = nullptr;  // daemon's stdout: READY handshake
+};
+
+Daemon spawn_mrpd(const std::string& binary,
+                  const std::vector<std::string>& args) {
+  int to_child[2], from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::perror("execv mrpd");
+    std::_Exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Daemon d;
+  d.pid = pid;
+  d.in_fd = to_child[1];
+  d.out = ::fdopen(from_child[0], "r");
+  return d;
+}
+
+bool wait_ready(Daemon& d) {
+  char line[256];
+  while (std::fgets(line, sizeof(line), d.out)) {
+    if (std::strncmp(line, "READY ", 6) == 0) {
+      std::printf("mrpctl: %s", line);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replicas = 3;
+  int ops = 200;
+  std::uint32_t workers = 4;
+  // Default base port is derived from our pid so parallel CI runs on one
+  // machine do not collide; override with --base-port for a stable address.
+  int base_port = 20000 + static_cast<int>(::getpid()) % 30000;
+  std::string mrpd_path;
+  std::string storage_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto val = [&s](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return s.compare(0, n, key) == 0 ? s.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--replicas=")) {
+      replicas = std::atoi(v);
+    } else if (const char* v = val("--ops=")) {
+      ops = std::atoi(v);
+    } else if (const char* v = val("--workers=")) {
+      workers = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (const char* v = val("--base-port=")) {
+      base_port = std::atoi(v);
+    } else if (const char* v = val("--mrpd=")) {
+      mrpd_path = v;
+    } else if (const char* v = val("--storage-dir=")) {
+      storage_dir = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mrpctl [--replicas=N>=3] [--ops=N] [--workers=W]\n"
+                   "              [--base-port=P] [--mrpd=PATH] "
+                   "[--storage-dir=DIR]\n");
+      return 2;
+    }
+  }
+  if (replicas < 3) {
+    std::fprintf(stderr, "mrpctl: need at least 3 replicas\n");
+    return 2;
+  }
+  if (mrpd_path.empty()) {
+    // Default: mrpd sits next to this binary.
+    std::string self = argv[0];
+    const std::size_t slash = self.rfind('/');
+    mrpd_path = slash == std::string::npos
+                    ? std::string("./mrpd")
+                    : self.substr(0, slash + 1) + "mrpd";
+  }
+
+  std::string ring_csv;
+  std::vector<ProcessId> members;
+  for (int r = 1; r <= replicas; ++r) {
+    members.push_back(r);
+    if (!ring_csv.empty()) ring_csv += ',';
+    ring_csv += std::to_string(r);
+  }
+
+  std::vector<Daemon> daemons;
+  for (ProcessId r : members) {
+    std::vector<std::string> args = {
+        "--id=" + std::to_string(r), "--ring=" + ring_csv,
+        "--client=" + std::to_string(kClient),
+        "--base-port=" + std::to_string(base_port)};
+    if (!storage_dir.empty()) args.push_back("--storage-dir=" + storage_dir);
+    daemons.push_back(spawn_mrpd(mrpd_path, args));
+  }
+  for (Daemon& d : daemons) {
+    if (!wait_ready(d)) {
+      std::fprintf(stderr, "mrpctl: a daemon died before READY\n");
+      for (Daemon& k : daemons) ::kill(k.pid, SIGKILL);
+      return 1;
+    }
+  }
+
+  // The client side: one local process, every replica is remote.
+  runtime::ThreadClusterOptions opts;
+  opts.seed = 7;
+  opts.codec = net::wire_codec();
+  runtime::ThreadCluster cluster(opts);
+  for (ProcessId r : members) {
+    cluster.add_remote(r, static_cast<std::uint16_t>(base_port + r));
+  }
+
+  std::atomic<int> issued{0};
+  std::atomic<int> done{0};
+  std::atomic<std::int64_t> last_counter{0};
+  smr::ClientNode* client = nullptr;
+  cluster.add_local(
+      kClient,
+      [&](runtime::Runtime& rt) {
+        smr::ClientNode::Options copts;
+        copts.workers = workers;
+        copts.retry_timeout = kSecond;
+        auto node = std::make_unique<smr::ClientNode>(
+            rt, copts,
+            smr::ClientNode::NextFn(
+                [&issued, &members, ops](std::uint32_t)
+                    -> std::optional<smr::Request> {
+                  // Gate on issues, not completions: with W workers a
+                  // done-based gate overshoots by up to W-1 in-flight ops.
+                  if (issued.fetch_add(1) >= ops) return std::nullopt;
+                  return smr::Request::single(kRing, members,
+                                              to_bytes("inc"));
+                }),
+            smr::ClientNode::DoneFn([&](const smr::Completion& c) {
+              done.fetch_add(1);
+              const std::int64_t v =
+                  std::stoll(mrp::to_string(c.results.begin()->second));
+              std::int64_t prev = last_counter.load();
+              while (v > prev &&
+                     !last_counter.compare_exchange_weak(prev, v)) {
+              }
+            }));
+        client = node.get();
+        return node;
+      },
+      static_cast<std::uint16_t>(base_port + kClient));
+  cluster.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::seconds(60);
+  while (done.load() < ops && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t retries = 0;
+  cluster.call(kClient, [&](runtime::Node*) { retries = client->retries(); });
+  cluster.stop();
+
+  // Teardown: closing each stdin pipe is the shutdown signal.
+  for (Daemon& d : daemons) ::close(d.in_fd);
+  for (Daemon& d : daemons) {
+    int status = 0;
+    ::waitpid(d.pid, &status, 0);
+    std::fclose(d.out);
+  }
+
+  const bool complete = done.load() >= ops;
+  const bool exactly_once = last_counter.load() == ops;
+  std::printf(
+      "mrpctl: %d/%d increments done in %.2f s (%.0f ops/s, %llu retries), "
+      "final counter %lld — %s\n",
+      done.load(), ops, elapsed,
+      elapsed > 0 ? done.load() / elapsed : 0.0,
+      static_cast<unsigned long long>(retries),
+      static_cast<long long>(last_counter.load()),
+      complete && exactly_once ? "exactly-once OK" : "FAILED");
+  return complete && exactly_once ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// mrpd — Multi-Ring Paxos daemon: one replica as a real OS process.
+//
+// Hosts one ReplicaNode (counter state machine) on the ThreadRuntime
+// backend. Peers are other mrpd instances (and an mrpctl client) on the same
+// machine; everyone derives everyone's loopback TCP port from one shared
+// convention: port(pid) = base_port + pid, so there is no discovery step.
+//
+// The coordination service is a per-process Registry mirror: each daemon
+// constructs the same static ring configuration locally (the ZooKeeper
+// stand-in is an oracle — replicas call it in-process, it never receives
+// network messages). Static-membership deployments need nothing more; the
+// elastic features (membership changes, scale-out) require the shared
+// registry of the in-process deployments.
+//
+// Lifecycle: prints "READY <id> <port>" on stdout once serving, then runs
+// until stdin reaches EOF (mrpctl holds a pipe to each daemon: launcher
+// exit = deployment teardown), then shuts down cleanly.
+//
+//   mrpd --id=1 --ring=1,2,3 --client=500 --base-port=35700
+//        [--storage-dir=/tmp/mrp]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/registry.hpp"
+#include "net/wire.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "smr/replica.hpp"
+
+namespace {
+
+using namespace mrp;
+
+constexpr GroupId kRing = 0;
+
+/// Counter service: "inc" increments and returns the new value; anything
+/// else reads. Duplicate execution (broken dedup) is immediately visible.
+class CounterSm final : public smr::StateMachine {
+ public:
+  Bytes apply(GroupId, const Bytes& op) override {
+    if (mrp::to_string(op) == "inc") ++value_;
+    return to_bytes(std::to_string(value_));
+  }
+  Bytes snapshot() const override { return to_bytes(std::to_string(value_)); }
+  void restore(const Bytes& s) override {
+    value_ = std::stoll(mrp::to_string(s));
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+std::vector<ProcessId> parse_ids(const char* csv) {
+  std::vector<ProcessId> ids;
+  for (const char* p = csv; *p;) {
+    ids.push_back(static_cast<ProcessId>(std::strtol(p, nullptr, 10)));
+    const char* comma = std::strchr(p, ',');
+    if (!comma) break;
+    p = comma + 1;
+  }
+  return ids;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: mrpd --id=N --ring=1,2,3 --base-port=P\n"
+               "            [--client=PID] [--storage-dir=DIR]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ProcessId id = kNoProcess;
+  std::vector<ProcessId> ring;
+  ProcessId client = kNoProcess;
+  int base_port = 0;
+  std::string storage_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto val = [&s](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return s.compare(0, n, key) == 0 ? s.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--id=")) {
+      id = static_cast<ProcessId>(std::atoi(v));
+    } else if (const char* v = val("--ring=")) {
+      ring = parse_ids(v);
+    } else if (const char* v = val("--client=")) {
+      client = static_cast<ProcessId>(std::atoi(v));
+    } else if (const char* v = val("--base-port=")) {
+      base_port = std::atoi(v);
+    } else if (const char* v = val("--storage-dir=")) {
+      storage_dir = v;
+    } else {
+      usage();
+    }
+  }
+  if (id == kNoProcess || ring.size() < 3 || base_port <= 0 ||
+      base_port + 600 > 65535) {
+    usage();
+  }
+
+  const auto port_of = [base_port](ProcessId p) {
+    return static_cast<std::uint16_t>(base_port + p);
+  };
+
+  runtime::ThreadClusterOptions opts;
+  opts.seed = 42;
+  opts.storage_dir = storage_dir;
+  opts.codec = net::wire_codec();
+  runtime::ThreadCluster cluster(opts);
+
+  // Local registry mirror: same static configuration in every daemon.
+  coord::Registry registry(cluster.add_oracle(coord::kRegistrySender),
+                           100 * kMillisecond);
+  coord::RingConfig cfg;
+  cfg.ring = kRing;
+  cfg.order = ring;
+  cfg.acceptors = {ring.begin(), ring.end()};
+  registry.create_ring(cfg);
+
+  multiring::NodeConfig node_cfg;
+  node_cfg.rings.push_back(multiring::RingSub{kRing, {}, true});
+  cluster.add_local(
+      id,
+      [&registry, node_cfg](runtime::Runtime& rt) {
+        return std::make_unique<smr::ReplicaNode>(
+            rt, &registry, node_cfg,
+            smr::StateMachineFactory([](runtime::Runtime&, ProcessId) {
+              return std::make_unique<CounterSm>();
+            }),
+            smr::ReplicaOptions{});
+      },
+      port_of(id));
+  for (ProcessId peer : ring) {
+    if (peer != id) cluster.add_remote(peer, port_of(peer));
+  }
+  if (client != kNoProcess) cluster.add_remote(client, port_of(client));
+
+  cluster.start();
+  std::printf("READY %d %u\n", id, port_of(id));
+  std::fflush(stdout);
+
+  // Serve until the launcher closes our stdin (or the terminal sends EOF).
+  while (std::fgetc(stdin) != EOF) {
+  }
+  cluster.stop();
+  std::fprintf(stderr, "mrpd %d: shut down\n", id);
+  return 0;
+}

@@ -6,12 +6,6 @@
 
 namespace mrp::coord {
 
-namespace {
-/// Sender id used for registry notifications; not a registered process (the
-/// registry models an always-available external ensemble).
-constexpr ProcessId kRegistrySender = -100;
-}  // namespace
-
 bool RingView::contains(ProcessId p) const {
   return std::find(members.begin(), members.end(), p) != members.end();
 }
@@ -27,20 +21,19 @@ ProcessId RingView::successor(ProcessId p) const {
   return it == members.end() ? members.front() : *it;
 }
 
-Registry::Registry(sim::Env& env, TimeNs fd_interval)
-    : env_(env), fd_interval_(fd_interval) {
+Registry::Registry(runtime::Runtime& rt, TimeNs fd_interval)
+    : rt_(rt), fd_interval_(fd_interval) {
   MRP_CHECK(fd_interval > 0);
-  // Self-rescheduling poll loop; the registry lives as long as the Env.
-  // Scheduled copies capture only `this` (the member function object owns
-  // the closure), so there is no shared_ptr self-cycle to leak.
-  fd_tick_ = [this] {
+  // Failure-detector poll loop; the registry lives as long as its runtime
+  // (oracles never crash, so the repeating timer never dies).
+  rt_.every(fd_interval_, [this] {
+    std::lock_guard<std::mutex> lk(mu_);
     poll();
-    env_.sim().schedule_after(fd_interval_, fd_tick_);
-  };
-  env_.sim().schedule_after(fd_interval_, fd_tick_);
+  });
 }
 
 void Registry::create_ring(const RingConfig& config) {
+  std::lock_guard<std::mutex> lk(mu_);
   MRP_CHECK(config.ring >= 0);
   MRP_CHECK_MSG(!config.order.empty(), "ring needs at least one member");
   MRP_CHECK_MSG(!config.acceptors.empty(), "ring needs at least one acceptor");
@@ -81,18 +74,21 @@ RingView Registry::build_view(const RingConfig& cfg,
 }
 
 const RingView& Registry::current_view(GroupId ring) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(ring);
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
   return it->second.view;
 }
 
 const RingConfig& Registry::config(GroupId ring) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(ring);
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
   return it->second.config;
 }
 
 std::vector<GroupId> Registry::rings() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<GroupId> out;
   for (const auto& [id, _] : rings_) out.push_back(id);
   return out;
@@ -101,7 +97,7 @@ std::vector<GroupId> Registry::rings() const {
 void Registry::bump_view(RingState& rs) {
   std::set<ProcessId> alive;
   for (ProcessId p : rs.config.order) {
-    if (env_.is_alive(p)) alive.insert(p);
+    if (rt_.peer_alive(p)) alive.insert(p);
   }
   rs.view = build_view(rs.config, alive, rs.view.epoch + 1,
                        rs.view.coordinator);
@@ -110,6 +106,7 @@ void Registry::bump_view(RingState& rs) {
 }
 
 void Registry::add_ring_member(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(ring);
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
   RingState& rs = it->second;
@@ -121,6 +118,7 @@ void Registry::add_ring_member(GroupId ring, ProcessId p) {
 }
 
 void Registry::remove_ring_member(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(ring);
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
   RingState& rs = it->second;
@@ -133,16 +131,18 @@ void Registry::remove_ring_member(GroupId ring, ProcessId p) {
 }
 
 void Registry::watch_ring(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(ring);
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
   it->second.watchers.insert(p);
   auto msg = std::make_shared<MsgViewChange>();
   msg->view = it->second.view;
-  env_.send_from(kRegistrySender, p, msg);
+  rt_.send(p, msg);
   it->second.notified.insert(p);
 }
 
 void Registry::unwatch_ring(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rings_.find(ring);
   if (it == rings_.end()) return;
   it->second.watchers.erase(p);
@@ -150,30 +150,34 @@ void Registry::unwatch_ring(GroupId ring, ProcessId p) {
 }
 
 void Registry::set_subscriptions(ProcessId p, std::vector<GroupId> groups) {
+  std::lock_guard<std::mutex> lk(mu_);
   std::sort(groups.begin(), groups.end());
   subscriptions_[p] = groups;
   const std::uint64_t epoch = ++sub_epochs_[p];
   for (ProcessId w : sub_watchers_) {
-    if (!env_.is_alive(w)) continue;
+    if (!rt_.peer_alive(w)) continue;
     auto msg = std::make_shared<MsgSubChange>();
     msg->process = p;
     msg->epoch = epoch;
     msg->groups = groups;
-    env_.send_from(kRegistrySender, w, msg);
+    rt_.send(w, msg);
   }
 }
 
 std::vector<GroupId> Registry::subscriptions(ProcessId p) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = subscriptions_.find(p);
   return it == subscriptions_.end() ? std::vector<GroupId>{} : it->second;
 }
 
 std::uint64_t Registry::subscription_epoch(ProcessId p) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = sub_epochs_.find(p);
   return it == sub_epochs_.end() ? 0 : it->second;
 }
 
 std::vector<ProcessId> Registry::subscribers(GroupId group) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<ProcessId> out;
   for (const auto& [p, groups] : subscriptions_) {
     if (std::find(groups.begin(), groups.end(), group) != groups.end()) {
@@ -184,6 +188,7 @@ std::vector<ProcessId> Registry::subscribers(GroupId group) const {
 }
 
 std::vector<ProcessId> Registry::partition_peers(ProcessId p) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = subscriptions_.find(p);
   MRP_CHECK_MSG(it != subscriptions_.end(), "process has no subscriptions");
   std::vector<ProcessId> out;
@@ -194,50 +199,59 @@ std::vector<ProcessId> Registry::partition_peers(ProcessId p) const {
 }
 
 void Registry::watch_subscriptions(ProcessId watcher) {
+  std::lock_guard<std::mutex> lk(mu_);
   sub_watchers_.insert(watcher);
 }
 
 std::uint64_t Registry::publish_schema(const std::string& key,
                                        const std::string& encoded) {
+  std::lock_guard<std::mutex> lk(mu_);
   SchemaState& ss = schemas_[key];
   ++ss.entry.version;
   ss.entry.encoded = encoded;
   for (ProcessId w : ss.watchers) {
-    if (!env_.is_alive(w)) continue;
+    if (!rt_.peer_alive(w)) continue;
     auto msg = std::make_shared<MsgSchemaChange>();
     msg->key = key;
     msg->entry = ss.entry;
-    env_.send_from(kRegistrySender, w, msg);
+    rt_.send(w, msg);
   }
   return ss.entry.version;
 }
 
 const SchemaEntry& Registry::schema(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
   static const SchemaEntry kEmpty;
   auto it = schemas_.find(key);
   return it == schemas_.end() ? kEmpty : it->second.entry;
 }
 
 void Registry::watch_schema(const std::string& key, ProcessId watcher) {
+  std::lock_guard<std::mutex> lk(mu_);
   SchemaState& ss = schemas_[key];
   ss.watchers.insert(watcher);
   if (ss.entry.version == 0) return;
   auto msg = std::make_shared<MsgSchemaChange>();
   msg->key = key;
   msg->entry = ss.entry;
-  env_.send_from(kRegistrySender, watcher, msg);
+  rt_.send(watcher, msg);
 }
 
 void Registry::set_meta(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lk(mu_);
   meta_[key] = value;
 }
 
 std::string Registry::get_meta(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = meta_.find(key);
   return it == meta_.end() ? std::string{} : it->second;
 }
 
-void Registry::check_now() { poll(); }
+void Registry::check_now() {
+  std::lock_guard<std::mutex> lk(mu_);
+  poll();
+}
 
 void Registry::poll() {
   for (auto& [_, rs] : rings_) recompute(rs);
@@ -246,7 +260,7 @@ void Registry::poll() {
 void Registry::recompute(RingState& rs) {
   std::set<ProcessId> alive;
   for (ProcessId p : rs.config.order) {
-    if (env_.is_alive(p)) alive.insert(p);
+    if (rt_.peer_alive(p)) alive.insert(p);
   }
   std::set<ProcessId> current(rs.view.members.begin(), rs.view.members.end());
   if (alive != current) {
@@ -259,7 +273,7 @@ void Registry::recompute(RingState& rs) {
 
 void Registry::notify(RingState& rs) {
   for (ProcessId w : rs.watchers) {
-    if (!env_.is_alive(w)) {
+    if (!rt_.peer_alive(w)) {
       // Crashed watcher: forget, so it is re-notified after recovery.
       rs.notified.erase(w);
       continue;
@@ -267,7 +281,7 @@ void Registry::notify(RingState& rs) {
     if (rs.notified.count(w)) continue;
     auto msg = std::make_shared<MsgViewChange>();
     msg->view = rs.view;
-    env_.send_from(kRegistrySender, w, msg);
+    rt_.send(w, msg);
     rs.notified.insert(w);
   }
 }

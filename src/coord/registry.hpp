@@ -34,10 +34,22 @@
 #include <string>
 #include <vector>
 
+#include <mutex>
+
 #include "common/types.hpp"
-#include "sim/env.hpp"
+#include "runtime/message.hpp"
+#include "runtime/runtime.hpp"
+
+namespace mrp::sim {
+class Env;
+}
 
 namespace mrp::coord {
+
+/// Sender id used for registry notifications; not a registered process (the
+/// registry models an always-available external ensemble). Thread-backend
+/// deployments register their registry actor under this id.
+constexpr ProcessId kRegistrySender = -100;
 
 /// A ring view: the alive members of a ring at some epoch, in ring order.
 struct RingView {
@@ -76,7 +88,7 @@ constexpr int kMsgViewChange = 600;
 constexpr int kMsgSchemaChange = 601;
 constexpr int kMsgSubChange = 602;
 
-struct MsgViewChange : sim::Message {
+struct MsgViewChange : runtime::Message {
   RingView view;
   int kind() const override { return kMsgViewChange; }
   std::size_t wire_size() const override {
@@ -85,7 +97,7 @@ struct MsgViewChange : sim::Message {
 };
 
 /// Watch notification: schema `key` is now at `entry.version`.
-struct MsgSchemaChange : sim::Message {
+struct MsgSchemaChange : runtime::Message {
   std::string key;
   SchemaEntry entry;
   int kind() const override { return kMsgSchemaChange; }
@@ -96,7 +108,7 @@ struct MsgSchemaChange : sim::Message {
 
 /// Watch notification: `process` changed its subscription set (epoch is the
 /// node's per-process subscription epoch).
-struct MsgSubChange : sim::Message {
+struct MsgSubChange : runtime::Message {
   ProcessId process = kNoProcess;
   std::uint64_t epoch = 0;
   std::vector<GroupId> groups;
@@ -107,6 +119,12 @@ struct MsgSubChange : sim::Message {
 class Registry {
  public:
   /// fd_interval bounds failure-detection (and recovery-detection) lag.
+  /// The runtime is the registry's host actor (an oracle: it only sends).
+  explicit Registry(runtime::Runtime& rt,
+                    TimeNs fd_interval = 100 * kMillisecond);
+
+  /// Sim convenience: hosts the registry on the Env's oracle runtime for
+  /// kRegistrySender (defined in registry_sim.cpp, the only sim-coupled TU).
   explicit Registry(sim::Env& env, TimeNs fd_interval = 100 * kMillisecond);
 
   // --- rings & views ---
@@ -199,12 +217,13 @@ class Registry {
                              const std::set<ProcessId>& alive,
                              std::uint64_t epoch, ProcessId sticky_coord);
 
-  sim::Env& env_;
+  runtime::Runtime& rt_;
   TimeNs fd_interval_;
-  // The failure-detector tick re-schedules copies of itself; keeping it as
-  // a member (capturing only `this`) avoids the shared_ptr self-cycle a
-  // self-capturing lambda would leak.
-  std::function<void()> fd_tick_;
+  // On the thread backend, watch/set/publish calls arrive from every node's
+  // loop thread while the fd tick runs on the registry's own; one mutex
+  // serializes them (uncontended and free on the sim backend). Public
+  // methods lock, private helpers assume the lock is held.
+  mutable std::mutex mu_;
   std::map<GroupId, RingState> rings_;
   std::map<ProcessId, std::vector<GroupId>> subscriptions_;
   std::map<ProcessId, std::uint64_t> sub_epochs_;

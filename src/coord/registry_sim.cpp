@@ -1,0 +1,11 @@
+// Sim-backend convenience constructor, kept in its own translation unit so
+// registry.cpp (and the registry header) stay free of sim dependencies.
+#include "coord/registry.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::coord {
+
+Registry::Registry(sim::Env& env, TimeNs fd_interval)
+    : Registry(env.oracle_runtime(kRegistrySender), fd_interval) {}
+
+}  // namespace mrp::coord

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/env.hpp"
 
 namespace mrp::dlog {
 
@@ -55,10 +56,10 @@ Result decode_result(const Bytes& data) {
   return res;
 }
 
-LogStateMachine::LogStateMachine(sim::Env& env, ProcessId self,
+LogStateMachine::LogStateMachine(runtime::Runtime& rt, ProcessId self,
                                  std::vector<LogId> logs,
                                  LogStateMachineOptions options)
-    : env_(env), self_(self), logs_(logs.begin(), logs.end()),
+    : rt_(rt), self_(self), logs_(logs.begin(), logs.end()),
       options_(options) {
   for (LogId l : logs_) state_[l];
 }
@@ -77,8 +78,8 @@ Bytes LogStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
         res.positions.emplace_back(l, pos);
         // Background data-file write; durability already comes from the
         // ring acceptors' logs.
-        env_.disk(self_, options_.data_disk_index)
-            .write(op.data.size() + 16, nullptr);
+        rt_.durable_write(options_.data_disk_index, op.data.size() + 16,
+                          nullptr);
       }
       break;
     }
@@ -117,7 +118,7 @@ Bytes LogStateMachine::apply(GroupId /*group*/, const Bytes& encoded) {
       ls.trimmed_to = std::max(ls.trimmed_to, upto);
       // "A trim command flushes the cache up to the trim position and
       // creates a new log file on disk."
-      env_.disk(self_, options_.data_disk_index).write(flushed + 64, nullptr);
+      rt_.durable_write(options_.data_disk_index, flushed + 64, nullptr);
       break;
     }
   }
@@ -254,8 +255,8 @@ DLogDeployment build_dlog(sim::Env& env, coord::Registry& registry,
     env.spawn<smr::ReplicaNode>(
         s, &registry, node_cfg,
         smr::StateMachineFactory(
-            [logs, sm_options](sim::Env& e, ProcessId self) {
-              return std::make_unique<LogStateMachine>(e, self, logs,
+            [logs, sm_options](runtime::Runtime& r, ProcessId self) {
+              return std::make_unique<LogStateMachine>(r, self, logs,
                                                        sm_options);
             }),
         options.replica_options);

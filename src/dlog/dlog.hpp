@@ -72,7 +72,8 @@ struct LogStateMachineOptions {
 
 class LogStateMachine final : public smr::StateMachine {
  public:
-  LogStateMachine(sim::Env& env, ProcessId self, std::vector<LogId> logs,
+  LogStateMachine(runtime::Runtime& rt, ProcessId self,
+                  std::vector<LogId> logs,
                   LogStateMachineOptions options);
 
   Bytes apply(GroupId group, const Bytes& op) override;
@@ -93,7 +94,7 @@ class LogStateMachine final : public smr::StateMachine {
 
   bool owned(LogId log) const { return logs_.count(log) > 0; }
 
-  sim::Env& env_;
+  runtime::Runtime& rt_;
   ProcessId self_;
   std::set<LogId> logs_;
   LogStateMachineOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/env.hpp"
 
 namespace mrp::mrpstore {
 

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "smr/client.hpp"
+#include "sim/env.hpp"
 
 namespace mrp::mrpstore {
 
@@ -124,10 +125,10 @@ void StoreReplicaNode::maybe_install() {
   checkpointer().checkpoint_soon();
 }
 
-void StoreReplicaNode::on_app_message(ProcessId from, const sim::Message& m) {
+void StoreReplicaNode::on_app_message(ProcessId from, const runtime::Message& m) {
   switch (m.kind()) {
     case kMsgHandoffState: {
-      const auto& h = sim::msg_cast<MsgHandoffState>(m);
+      const auto& h = runtime::msg_cast<MsgHandoffState>(m);
       if (!bootstrapping_ || h.version != elastic_.handoff_version) return;
       if (!elastic_.handoff_sources.count(h.source)) return;
       // First piece per source wins; duplicates (chaos, push + pull races)
@@ -137,7 +138,7 @@ void StoreReplicaNode::on_app_message(ProcessId from, const sim::Message& m) {
       return;
     }
     case kMsgHandoffPull: {
-      const auto& p = sim::msg_cast<MsgHandoffPull>(m);
+      const auto& p = runtime::msg_cast<MsgHandoffPull>(m);
       // Pieces are retained per version (and recreated by deterministic
       // replay after recovery), so a slow bootstrap can still pull its
       // split's piece after later splits executed here.
@@ -221,7 +222,7 @@ std::uint64_t split_partition(sim::Env& env, coord::Registry& registry,
   for (ProcessId pid : spec.new_replicas) {
     env.spawn<StoreReplicaNode>(
         pid, &registry, node_cfg,
-        smr::StateMachineFactory([old_encoded](sim::Env&, ProcessId) {
+        smr::StateMachineFactory([old_encoded](runtime::Runtime&, ProcessId) {
           auto sm = std::make_unique<KvStateMachine>();
           sm->set_schema(PartitionSchema::decode(old_encoded));
           return sm;

@@ -41,7 +41,7 @@ constexpr int kMsgHandoffPull = 631;
 /// Source replica -> new replica: one partition's state-transfer piece.
 /// Wire size includes the entries, so the transfer consumes simulated
 /// bandwidth like a real snapshot copy.
-struct MsgHandoffState final : sim::Message {
+struct MsgHandoffState final : runtime::Message {
   GroupId source = -1;             ///< partition group the piece came from
   std::uint64_t version = 0;       ///< schema version of the split
   Bytes piece;                     ///< KvStateMachine handoff encoding
@@ -53,7 +53,7 @@ struct MsgHandoffState final : sim::Message {
 };
 
 /// New replica -> source replica: re-request a (dropped) handoff piece.
-struct MsgHandoffPull final : sim::Message {
+struct MsgHandoffPull final : runtime::Message {
   GroupId source = -1;        ///< which partition's piece is being pulled
   std::uint64_t version = 0;  ///< schema version the puller expects
   int kind() const override { return kMsgHandoffPull; }
@@ -94,7 +94,7 @@ class StoreReplicaNode : public smr::ReplicaNode {
 
  protected:
   Bytes apply_command(GroupId group, const smr::Command& c) override;
-  void on_app_message(ProcessId from, const sim::Message& m) override;
+  void on_app_message(ProcessId from, const runtime::Message& m) override;
 
  private:
   struct Piece {

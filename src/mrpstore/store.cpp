@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "mrpstore/elastic.hpp"
+#include "sim/env.hpp"
 
 namespace mrp::mrpstore {
 
@@ -454,7 +455,7 @@ StoreDeployment build_store(sim::Env& env, coord::Registry& registry,
     for (ProcessId r : dep.replicas[p]) {
       env.spawn<StoreReplicaNode>(
           r, &registry, cfg,
-          smr::StateMachineFactory([encoded_schema](sim::Env&, ProcessId) {
+          smr::StateMachineFactory([encoded_schema](runtime::Runtime&, ProcessId) {
             auto sm = std::make_unique<KvStateMachine>();
             sm->set_schema(PartitionSchema::decode(encoded_schema));
             return sm;

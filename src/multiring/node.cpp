@@ -11,13 +11,13 @@ namespace {
 constexpr const char* kStableConfigKey = "multiring/config";
 }  // namespace
 
-MultiRingNode::MultiRingNode(sim::Env& env, ProcessId id,
-                             coord::Registry* registry, NodeConfig config)
-    : sim::Process(env, id), registry_(registry), config_(std::move(config)) {
+MultiRingNode::MultiRingNode(runtime::Runtime& rt, coord::Registry* registry,
+                             NodeConfig config)
+    : runtime::Node(rt), registry_(registry), config_(std::move(config)) {
   MRP_CHECK(registry_ != nullptr);
   // Dynamic attach/detach calls persist the effective configuration; a
   // recovered node resumes from it rather than the spawn-time snapshot.
-  const NodeConfig& saved = env.stable<NodeConfig>(id, kStableConfigKey);
+  const NodeConfig& saved = rt.stable<NodeConfig>(kStableConfigKey);
   if (!saved.rings.empty()) config_ = saved;
   MRP_CHECK_MSG(!config_.rings.empty(), "node participates in no ring");
 
@@ -36,7 +36,7 @@ MultiRingNode::MultiRingNode(sim::Env& env, ProcessId id,
     // group was attached mid-stream): a recovered node re-enters the merge
     // where its partition peers spliced it in.
     for (GroupId g : learner_groups) merger_->add_group(g, start_of(g));
-    registry_->set_subscriptions(id, learner_groups);
+    registry_->set_subscriptions(id(), learner_groups);
   }
 
   for (const RingSub& sub : config_.rings) {
@@ -74,7 +74,7 @@ void MultiRingNode::make_handler(const RingSub& sub) {
 }
 
 void MultiRingNode::persist_config() {
-  env().stable<NodeConfig>(id(), kStableConfigKey) = config_;
+  rt().stable<NodeConfig>(kStableConfigKey) = config_;
 }
 
 void MultiRingNode::publish_subscriptions() {
@@ -144,14 +144,14 @@ std::vector<GroupId> MultiRingNode::subscribed_groups() const {
   return out;
 }
 
-void MultiRingNode::on_message(ProcessId from, const sim::Message& m) {
+void MultiRingNode::on_message(ProcessId from, const runtime::Message& m) {
   if (m.kind() == coord::kMsgViewChange) {
-    const auto& vc = sim::msg_cast<coord::MsgViewChange>(m);
+    const auto& vc = runtime::msg_cast<coord::MsgViewChange>(m);
     if (auto* h = handler(vc.view.ring)) h->on_view(vc.view);
     return;
   }
   if (m.kind() >= 100 && m.kind() <= 199) {
-    const auto& rm = sim::msg_cast<ringpaxos::RingMessage>(m);
+    const auto& rm = runtime::msg_cast<ringpaxos::RingMessage>(m);
     if (auto* h = handler(rm.ring)) h->handle(from, m);
     return;
   }
@@ -159,7 +159,7 @@ void MultiRingNode::on_message(ProcessId from, const sim::Message& m) {
 }
 
 void MultiRingNode::on_app_message(ProcessId /*from*/,
-                                   const sim::Message& /*m*/) {}
+                                   const runtime::Message& /*m*/) {}
 
 void MultiRingNode::on_trimmed_gap(GroupId /*group*/,
                                    InstanceId /*trimmed_to*/) {}

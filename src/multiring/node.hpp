@@ -29,8 +29,11 @@
 #include "coord/registry.hpp"
 #include "multiring/merger.hpp"
 #include "ringpaxos/ring_handler.hpp"
-#include "sim/env.hpp"
-#include "sim/process.hpp"
+#include "runtime/node.hpp"
+
+namespace mrp::sim {
+class Env;
+}
 
 namespace mrp::multiring {
 
@@ -41,10 +44,10 @@ struct RingSub {
   bool learner = false;  // deliver this group through the merger
 };
 
-/// Full node configuration; copyable so Env::spawn can re-create the node
-/// with identical configuration after a crash. Dynamic attach/detach calls
-/// keep a crash-surviving copy in Env::stable, which overrides this at
-/// reconstruction.
+/// Full node configuration; copyable so the deployment can re-create the
+/// node with identical configuration after a crash. Dynamic attach/detach
+/// calls keep a crash-surviving copy in the runtime's stable storage, which
+/// overrides this at reconstruction.
 struct NodeConfig {
   std::vector<RingSub> rings;
   std::uint32_t merge_m = 1;  // M: instances per group per merge round
@@ -55,13 +58,18 @@ struct NodeConfig {
   std::map<GroupId, InstanceId> start_instances;
 };
 
-class MultiRingNode : public sim::Process {
+class MultiRingNode : public runtime::Node {
  public:
   /// Application-level delivery (merged across subscribed groups; skips
   /// already filtered). `instance` is the consensus instance in `group`.
   using AppDeliverFn =
       std::function<void(GroupId group, InstanceId instance, const Payload&)>;
 
+  MultiRingNode(runtime::Runtime& rt, coord::Registry* registry,
+                NodeConfig config);
+
+  /// Sim convenience: binds to the Env's runtime adapter for `id` (defined
+  /// in node_sim.cpp, the only sim-coupled TU of this module).
   MultiRingNode(sim::Env& env, ProcessId id, coord::Registry* registry,
                 NodeConfig config);
 
@@ -115,12 +123,12 @@ class MultiRingNode : public sim::Process {
 
   /// Demultiplexes ring traffic by ring id, registry view changes to the
   /// matching handler, and everything else to on_app_message.
-  void on_message(ProcessId from, const sim::Message& m) final;
+  void on_message(ProcessId from, const runtime::Message& m) final;
 
  protected:
   /// Non-ring messages (client requests, recovery protocol, service
   /// traffic). Default: drop.
-  virtual void on_app_message(ProcessId from, const sim::Message& m);
+  virtual void on_app_message(ProcessId from, const runtime::Message& m);
 
   /// Hook invoked by the ring layer when an acceptor log was trimmed past a
   /// gap this learner still needs (the replica must run full recovery).

@@ -1,0 +1,12 @@
+// Sim-backend convenience constructor, kept in its own translation unit so
+// node.cpp (and the header) stay free of sim dependencies.
+#include "multiring/node.hpp"
+#include "sim/env.hpp"
+
+namespace mrp::multiring {
+
+MultiRingNode::MultiRingNode(sim::Env& env, ProcessId id,
+                             coord::Registry* registry, NodeConfig config)
+    : MultiRingNode(env.runtime_for(id), registry, std::move(config)) {}
+
+}  // namespace mrp::multiring

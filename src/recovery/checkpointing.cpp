@@ -26,7 +26,7 @@ Checkpointer::Checkpointer(multiring::MultiRingNode& node,
       options_(options),
       snapshot_(std::move(snapshot)),
       restore_(std::move(restore)),
-      store_(node.env(), node.id(), options.disk_index) {
+      store_(node.rt(), options.disk_index) {
   MRP_CHECK(snapshot_ != nullptr && restore_ != nullptr);
   MRP_CHECK_MSG(node_.merger() != nullptr, "checkpointer needs a learner node");
 
@@ -174,10 +174,10 @@ void Checkpointer::maybe_finish_peer_recovery() {
   node_.send(best, std::make_shared<MsgCkptFetch>());
 }
 
-bool Checkpointer::handle(ProcessId from, const sim::Message& m) {
+bool Checkpointer::handle(ProcessId from, const runtime::Message& m) {
   switch (m.kind()) {
     case kMsgTrimQuery: {
-      const auto& q = sim::msg_cast<MsgTrimQuery>(m);
+      const auto& q = runtime::msg_cast<MsgTrimQuery>(m);
       auto reply = std::make_shared<MsgTrimReply>();
       reply->group = q.group;
       auto it = durable_tuple_.find(q.group);
@@ -198,7 +198,7 @@ bool Checkpointer::handle(ProcessId from, const sim::Message& m) {
     }
     case kMsgCkptInfo: {
       if (!recovering_ || fetch_inflight_) return true;
-      peer_infos_[from] = sim::msg_cast<MsgCkptInfo>(m);
+      peer_infos_[from] = runtime::msg_cast<MsgCkptInfo>(m);
       maybe_finish_peer_recovery();
       return true;
     }
@@ -212,7 +212,7 @@ bool Checkpointer::handle(ProcessId from, const sim::Message& m) {
       return true;
     }
     case kMsgCkptState: {
-      const auto& s = sim::msg_cast<MsgCkptState>(m);
+      const auto& s = runtime::msg_cast<MsgCkptState>(m);
       fetch_inflight_ = false;
       if (s.has) {
         // Install only if the remote checkpoint is componentwise ahead of

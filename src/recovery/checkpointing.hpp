@@ -49,7 +49,7 @@ class Checkpointer {
   void start();
 
   /// Routes recovery messages; returns true if consumed.
-  bool handle(ProcessId from, const sim::Message& m);
+  bool handle(ProcessId from, const runtime::Message& m);
 
   /// Trimmed-gap signal from the ring layer: re-run peer recovery.
   void request_recovery();

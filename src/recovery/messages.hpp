@@ -4,7 +4,7 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "sim/message.hpp"
+#include "runtime/message.hpp"
 #include "storage/checkpoint_store.hpp"
 
 namespace mrp::recovery {
@@ -18,13 +18,13 @@ constexpr int kMsgCkptState = 615;
 
 /// Ring coordinator asks a replica for its highest safe instance of `group`
 /// (the durable-checkpoint entry k[x]_p, Section 5.2).
-struct MsgTrimQuery final : sim::Message {
+struct MsgTrimQuery final : runtime::Message {
   GroupId group = -1;
   int kind() const override { return kMsgTrimQuery; }
   std::size_t wire_size() const override { return 16; }
 };
 
-struct MsgTrimReply final : sim::Message {
+struct MsgTrimReply final : runtime::Message {
   GroupId group = -1;
   InstanceId safe = 0;         // k[x]_p from the last durable checkpoint
   std::string partition_key;   // identifies the replica's partition
@@ -33,12 +33,12 @@ struct MsgTrimReply final : sim::Message {
 };
 
 /// Recovering replica asks a partition peer for its checkpoint identifier.
-struct MsgCkptQuery final : sim::Message {
+struct MsgCkptQuery final : runtime::Message {
   int kind() const override { return kMsgCkptQuery; }
   std::size_t wire_size() const override { return 8; }
 };
 
-struct MsgCkptInfo final : sim::Message {
+struct MsgCkptInfo final : runtime::Message {
   bool has = false;
   storage::CheckpointTuple tuple;  // k_q
   std::uint64_t sequence = 0;
@@ -47,14 +47,14 @@ struct MsgCkptInfo final : sim::Message {
 };
 
 /// Recovering replica fetches the state of the best checkpoint in Q_R.
-struct MsgCkptFetch final : sim::Message {
+struct MsgCkptFetch final : runtime::Message {
   int kind() const override { return kMsgCkptFetch; }
   std::size_t wire_size() const override { return 8; }
 };
 
 /// The full checkpoint (state transfer — wire size includes the state, so
 /// the transfer consumes simulated bandwidth like the real thing).
-struct MsgCkptState final : sim::Message {
+struct MsgCkptState final : runtime::Message {
   bool has = false;
   storage::Checkpoint checkpoint;
   int kind() const override { return kMsgCkptState; }

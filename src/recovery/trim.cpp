@@ -28,9 +28,9 @@ void TrimProtocol::tick() {
   }
 }
 
-bool TrimProtocol::handle(ProcessId from, const sim::Message& m) {
+bool TrimProtocol::handle(ProcessId from, const runtime::Message& m) {
   if (m.kind() != kMsgTrimReply) return false;
-  const auto& reply = sim::msg_cast<MsgTrimReply>(m);
+  const auto& reply = runtime::msg_cast<MsgTrimReply>(m);
   auto it = rounds_.find(reply.group);
   if (it == rounds_.end() || it->second.done) return true;  // stale reply
   it->second.replies[from] = reply.safe;

@@ -28,7 +28,7 @@ class TrimProtocol {
   TrimProtocol(multiring::MultiRingNode& node, TrimOptions options);
 
   /// Routes trim replies (at the coordinator); returns true if consumed.
-  bool handle(ProcessId from, const sim::Message& m);
+  bool handle(ProcessId from, const runtime::Message& m);
 
   /// Starts a query round now for every group this node coordinates.
   void tick();

@@ -4,7 +4,6 @@
 
 #include "common/check.hpp"
 #include "ringpaxos/ring_handler.hpp"
-#include "sim/env.hpp"
 
 namespace mrp::ringpaxos {
 

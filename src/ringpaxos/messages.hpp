@@ -14,7 +14,7 @@
 
 #include "common/types.hpp"
 #include "paxos/paxos.hpp"
-#include "sim/message.hpp"
+#include "runtime/message.hpp"
 
 namespace mrp::ringpaxos {
 
@@ -28,7 +28,7 @@ constexpr int kMsgRetransmitReply = 106;
 constexpr int kMsgTrim = 107;
 constexpr int kMsgBusy = 108;
 
-struct RingMessage : sim::Message {
+struct RingMessage : runtime::Message {
   GroupId ring = -1;
   int ttl = 0;
 };

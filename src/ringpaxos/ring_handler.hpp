@@ -1,6 +1,6 @@
 // One process's participation in one Ring Paxos ring.
 //
-// A RingHandler is a component embedded in a host sim::Process (the
+// A RingHandler is a component embedded in a host runtime::Node (the
 // multiring::MultiRingNode): the host demultiplexes incoming messages by
 // ring id and forwards them here. Depending on the current view and the
 // configured roles, the handler acts as proposer (propose / retry), acceptor
@@ -29,7 +29,7 @@
 #include "coord/registry.hpp"
 #include "paxos/paxos.hpp"
 #include "ringpaxos/messages.hpp"
-#include "sim/process.hpp"
+#include "runtime/node.hpp"
 #include "storage/acceptor_log.hpp"
 
 namespace mrp::ringpaxos {
@@ -104,7 +104,7 @@ class RingHandler {
     std::uint64_t busy_received = 0;   ///< MsgBusy pushbacks to own proposals
   };
 
-  RingHandler(sim::Process& host, coord::Registry& registry, GroupId ring,
+  RingHandler(runtime::Node& host, coord::Registry& registry, GroupId ring,
               RingParams params, DeliverFn deliver);
 
   GroupId ring() const { return ring_; }
@@ -135,7 +135,7 @@ class RingHandler {
   ValueId propose(Payload payload);
 
   /// Handles a ring message (host demultiplexed by ring id already).
-  void handle(ProcessId from, const sim::Message& m);
+  void handle(ProcessId from, const runtime::Message& m);
 
   /// View change notification from the registry.
   void on_view(const coord::RingView& v);
@@ -204,7 +204,7 @@ class RingHandler {
   void learn(InstanceId instance, const paxos::Value& value);
   void flush_ordered();
   void check_gap();
-  void forward(sim::MessagePtr m);
+  void forward(runtime::MessagePtr m);
   ProcessId successor() const;
   int acceptor_bit() const;
   std::uint64_t own_vote_bit() const;
@@ -225,7 +225,7 @@ class RingHandler {
   void retry_tick();
   void remember_id(const ValueId& id);
 
-  sim::Process& host_;
+  runtime::Node& host_;
   coord::Registry& registry_;
   GroupId ring_;
   RingParams params_;
@@ -252,8 +252,8 @@ class RingHandler {
   bool retransmit_inflight_ = false;
   std::size_t retransmit_cursor_ = 0;  // rotates over remote acceptors
 
-  // Proposer state. The value-id sequence lives in the Env's crash-surviving
-  // stable storage: ValueId uniqueness must hold across process restarts, or
+  // Proposer state. The value-id sequence lives in the runtime's
+  // crash-surviving stable storage: ValueId uniqueness must hold across process restarts, or
   // a recovered proposer's fresh values would collide with its pre-crash ids
   // and be suppressed as duplicates by every learner that saw the originals.
   std::uint64_t* next_seq_ = nullptr;

@@ -2,7 +2,6 @@
 
 #include "common/check.hpp"
 #include "ringpaxos/ring_handler.hpp"
-#include "sim/env.hpp"
 
 namespace mrp::ringpaxos {
 
@@ -12,7 +11,7 @@ int ttl_for(const coord::RingView& v) {
 }
 }  // namespace
 
-RingHandler::RingHandler(sim::Process& host, coord::Registry& registry,
+RingHandler::RingHandler(runtime::Node& host, coord::Registry& registry,
                          GroupId ring, RingParams params, DeliverFn deliver)
     : host_(host),
       registry_(registry),
@@ -27,10 +26,10 @@ RingHandler::RingHandler(sim::Process& host, coord::Registry& registry,
         cfg.acceptors.begin(), cfg.acceptors.find(host_.id())));
     MRP_CHECK_MSG(cfg.acceptors.size() <= 64, "vote mask holds 64 acceptors");
     log_ = std::make_unique<storage::AcceptorLog>(
-        host_.env(), host_.id(), ring_, params_.write_mode, params_.disk_index);
+        host_.rt(), ring_, params_.write_mode, params_.disk_index);
   }
-  next_seq_ = &host_.env().stable<std::uint64_t>(
-      host_.id(), "ringpaxos/" + std::to_string(ring_) + "/next_seq");
+  next_seq_ = &host_.rt().stable<std::uint64_t>(
+      "ringpaxos/" + std::to_string(ring_) + "/next_seq");
 
   // Read the cached view synchronously (ZK client cache); watch for changes.
   view_ = registry_.current_view(ring_);
@@ -78,7 +77,7 @@ ProcessId RingHandler::successor() const {
   return view_.successor(host_.id());
 }
 
-void RingHandler::forward(sim::MessagePtr m) {
+void RingHandler::forward(runtime::MessagePtr m) {
   const ProcessId next = successor();
   if (next == kNoProcess || next == host_.id()) return;
   host_.send(next, std::move(m));
@@ -138,35 +137,35 @@ void RingHandler::proposal_retry_tick() {
   }
 }
 
-void RingHandler::handle(ProcessId from, const sim::Message& m) {
+void RingHandler::handle(ProcessId from, const runtime::Message& m) {
   if (detached_) return;  // left the ring: drop late traffic
   switch (m.kind()) {
     case kMsgProposal:
-      handle_proposal(sim::msg_cast<MsgProposal>(m));
+      handle_proposal(runtime::msg_cast<MsgProposal>(m));
       return;
     case kMsgPhase1A:
-      handle_phase1a(from, sim::msg_cast<MsgPhase1A>(m));
+      handle_phase1a(from, runtime::msg_cast<MsgPhase1A>(m));
       return;
     case kMsgPhase1B:
-      handle_phase1b(sim::msg_cast<MsgPhase1B>(m));
+      handle_phase1b(runtime::msg_cast<MsgPhase1B>(m));
       return;
     case kMsgPhase2:
-      handle_phase2(from, sim::msg_cast<MsgPhase2>(m));
+      handle_phase2(from, runtime::msg_cast<MsgPhase2>(m));
       return;
     case kMsgDecision:
-      handle_decision(sim::msg_cast<MsgDecision>(m));
+      handle_decision(runtime::msg_cast<MsgDecision>(m));
       return;
     case kMsgRetransmitReq:
-      handle_retransmit_req(from, sim::msg_cast<MsgRetransmitReq>(m));
+      handle_retransmit_req(from, runtime::msg_cast<MsgRetransmitReq>(m));
       return;
     case kMsgRetransmitReply:
-      handle_retransmit_reply(sim::msg_cast<MsgRetransmitReply>(m));
+      handle_retransmit_reply(runtime::msg_cast<MsgRetransmitReply>(m));
       return;
     case kMsgTrim:
-      handle_trim(sim::msg_cast<MsgTrim>(m));
+      handle_trim(runtime::msg_cast<MsgTrim>(m));
       return;
     case kMsgBusy:
-      handle_busy(sim::msg_cast<MsgBusy>(m));
+      handle_busy(runtime::msg_cast<MsgBusy>(m));
       return;
     default:
       MRP_CHECK_MSG(false, "unknown ring message kind");

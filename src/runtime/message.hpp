@@ -1,0 +1,40 @@
+// Base type for all protocol messages, independent of the backend that
+// carries them: the deterministic simulator delivers MessagePtr objects
+// directly, the thread runtime serializes them onto TCP frames (net/wire).
+// Each subsystem defines message structs deriving from Message and claims a
+// disjoint `kind` range (see ranges below); handlers switch on kind() and
+// downcast with msg_cast.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace mrp::runtime {
+
+// Kind ranges per subsystem (documentation; enforced by convention):
+//   100-199  ringpaxos      300-399  smr            500-599  baselines
+//   200-299  multiring      400-499  services       600-699  coord / recovery
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Discriminator for dispatch.
+  virtual int kind() const = 0;
+
+  /// Bytes this message would occupy on the wire; drives the bandwidth and
+  /// per-byte CPU models. Implementations estimate header + payload size.
+  virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+template <class T>
+const T& msg_cast(const Message& m) {
+  const T* p = dynamic_cast<const T*>(&m);
+  MRP_CHECK_MSG(p != nullptr, "message kind/type mismatch");
+  return *p;
+}
+
+}  // namespace mrp::runtime

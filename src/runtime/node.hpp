@@ -1,0 +1,85 @@
+// Base class for protocol actors (proposers, acceptors, learners, replicas,
+// clients, baseline servers) hosted on any Runtime backend.
+//
+// Lifecycle: constructed against a Runtime, then on_start() runs. On the sim
+// backend, Env::crash() destroys the object and drops its queued messages
+// and pending timers (they are epoch-guarded); Env::recover() re-runs the
+// factory — the fresh object reconstructs its state from the runtime's
+// stable storage, which survives crashes. On the thread backend the node
+// lives as long as its event-loop thread.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "runtime/message.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/task.hpp"
+
+namespace mrp::runtime {
+
+class Node {
+ public:
+  explicit Node(Runtime& rt) : rt_(rt) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// This process's deployment-wide identifier.
+  ProcessId id() const { return rt_.id(); }
+
+  /// Called once after construction (both initial start and recovery).
+  virtual void on_start() {}
+
+  /// Handles a delivered message. The runtime automatically charges this
+  /// process's configured per-message/per-byte CPU cost; handlers may add
+  /// extra cost with charge().
+  virtual void on_message(ProcessId from, const Message& m) = 0;
+
+  // --- services available to subclasses (public so harnesses can drive) ---
+
+  /// The hosting runtime (timer scheduling, stable storage, ...).
+  Runtime& rt() { return rt_; }
+  const Runtime& rt() const { return rt_; }
+
+  /// Sends m over the backend's network (delivered after link delay;
+  /// dropped if the receiver is down, partitioned away, or eaten by
+  /// injected faults).
+  void send(ProcessId to, MessagePtr m) { rt_.send(to, std::move(m)); }
+
+  /// One-shot timer; cancelled implicitly if this process crashes first.
+  void after(TimeNs delay, Task fn) { rt_.after(delay, std::move(fn)); }
+
+  /// Repeating timer with fixed period, first firing after one period.
+  void every(TimeNs period, Task fn) { rt_.every(period, std::move(fn)); }
+
+  /// Repeating timer gated on `active` (see Runtime::every_while).
+  void every_while(TimeNs period, std::shared_ptr<const bool> active,
+                   Task fn) {
+    rt_.every_while(period, std::move(active), std::move(fn));
+  }
+
+  /// Wraps fn so that it is a no-op if this process has crashed (or crashed
+  /// and recovered) by the time it runs. Use for disk-completion callbacks.
+  Task guard(Task fn) { return rt_.guard(std::move(fn)); }
+
+  /// Adds CPU cost to the event being handled (serializes this process).
+  void charge(TimeNs cpu) { rt_.charge(cpu); }
+
+  /// Adds CPU cost on a background lane (accounted for utilization metrics
+  /// but not serializing the message-handling lane), e.g. GC, flusher.
+  void charge_background(TimeNs cpu) { rt_.charge_background(cpu); }
+
+  /// Current time (simulated or steady wall clock, per backend).
+  TimeNs now() const { return rt_.now(); }
+
+  /// The run's random stream (draws are event-order stable on the sim).
+  Rng& rng() { return rt_.rng(); }
+
+ private:
+  Runtime& rt_;
+};
+
+}  // namespace mrp::runtime

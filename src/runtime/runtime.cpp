@@ -1,0 +1,35 @@
+#include "runtime/runtime.hpp"
+
+namespace mrp::runtime {
+
+void Runtime::every(TimeNs period, Task fn) {
+  rearm(period, std::make_shared<Task>(std::move(fn)));
+}
+
+void Runtime::rearm(TimeNs period, std::shared_ptr<Task> fn) {
+  // Re-arming closure: each firing re-checks liveness via the backend's
+  // crash guard (sim timers are epoch-guarded), so the chain dies with the
+  // process. The callable itself is shared, so repeat firings re-wrap only
+  // this small (inline-sized) closure.
+  schedule(period, [this, period, fn] {
+    (*fn)();
+    rearm(period, fn);
+  });
+}
+
+void Runtime::every_while(TimeNs period, std::shared_ptr<const bool> active,
+                          Task fn) {
+  rearm_while(period, std::move(active),
+              std::make_shared<Task>(std::move(fn)));
+}
+
+void Runtime::rearm_while(TimeNs period, std::shared_ptr<const bool> active,
+                          std::shared_ptr<Task> fn) {
+  schedule(period, [this, period, active, fn] {
+    if (!*active) return;  // owner cancelled: the chain dies here
+    (*fn)();
+    rearm_while(period, active, fn);
+  });
+}
+
+}  // namespace mrp::runtime

@@ -1,0 +1,610 @@
+#include "runtime/thread_runtime.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "common/check.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace mrp::runtime {
+
+namespace {
+
+constexpr std::size_t kMaxFrame = 64u << 20;  // sanity bound, not a limit
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MRP_CHECK(flags >= 0);
+  MRP_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void append_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    MRP_CHECK_MSG(false, "cannot create storage directory");
+  }
+}
+
+/// Keys use '/' as a namespace separator (e.g. "ring/3/acceptor_log");
+/// flatten for use as a file name.
+std::string sanitize_key(const std::string& key) {
+  std::string s = key;
+  for (char& c : s) {
+    if (c == '/' || c == '\\' || c == ':') c = '~';
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadRuntime
+// ---------------------------------------------------------------------------
+
+ThreadRuntime::ThreadRuntime(ThreadCluster& cluster, ProcessId pid,
+                             std::uint16_t port)
+    : cluster_(cluster),
+      pid_(pid),
+      rng_(cluster.options().seed +
+           static_cast<std::uint64_t>(static_cast<std::int64_t>(pid)) *
+               0x9e3779b97f4a7c15ULL) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MRP_CHECK(listen_fd_ >= 0);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // 0 = ephemeral (ports exchanged via ThreadCluster); nonzero = fixed, for
+  // multi-OS-process deployments where peers compute ports up front (mrpd).
+  addr.sin_port = htons(port);
+  MRP_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0);
+  MRP_CHECK(::listen(listen_fd_, 64) == 0);
+  socklen_t len = sizeof(addr);
+  MRP_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  int pipefd[2];
+  MRP_CHECK(::pipe(pipefd) == 0);
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+}
+
+ThreadRuntime::~ThreadRuntime() {
+  if (thread_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    wake();
+    thread_.join();
+  }
+  for (auto& [addr, size] : mappings_) ::munmap(addr, size);
+  for (auto& [index, fd] : durable_fds_) ::close(fd);
+  for (auto& [to, ob] : out_) {
+    if (ob.fd >= 0) ::close(ob.fd);
+  }
+  for (auto& in : in_) {
+    if (in.fd >= 0) ::close(in.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+}
+
+TimeNs ThreadRuntime::now() const { return cluster_.now(); }
+
+void ThreadRuntime::wake() {
+  const std::uint8_t b = 1;
+  // EAGAIN means the pipe is full of pending wakeups — already awake.
+  [[maybe_unused]] ssize_t n = ::write(wake_w_, &b, 1);
+}
+
+void ThreadRuntime::send(ProcessId to, MessagePtr m) {
+  MRP_CHECK(m != nullptr);
+  if (to == pid_) {
+    // Self-sends stay in-process (the sim delivers them without the network
+    // too) — queue an asynchronous local delivery, preserving zero-copy.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      posted_.push_back([this, msg = std::move(m)] {
+        if (node_) node_->on_message(pid_, *msg);
+      });
+    }
+    wake();
+    return;
+  }
+  if (!cluster_.has_peer(to)) return;  // dropped, like the sim's network
+  thread_local codec::Writer w;
+  w.clear();
+  MRP_CHECK_MSG(cluster_.options().codec.encode != nullptr,
+                "ThreadCluster has no wire codec");
+  MRP_CHECK_MSG(cluster_.options().codec.encode(w, *m),
+                "no wire encoder for sent message kind");
+  const Bytes& body = w.buffer();
+  MRP_CHECK(body.size() + 12 <= kMaxFrame);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& st = staged_out_[to];
+    append_le32(st, static_cast<std::uint32_t>(12 + body.size()));
+    append_le32(st, static_cast<std::uint32_t>(pid_));
+    append_le32(st, static_cast<std::uint32_t>(to));
+    append_le32(st, static_cast<std::uint32_t>(m->kind()));
+    st.insert(st.end(), body.begin(), body.end());
+  }
+  wake();
+}
+
+TimerId ThreadRuntime::schedule(TimeNs delay, Task fn) {
+  if (delay < 0) delay = 0;
+  TimerId tid;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tid = ++next_timer_;
+    timer_cbs_.emplace(tid, std::move(fn));
+    timer_heap_.push_back(TimerEntry{now() + delay, tid});
+    std::push_heap(timer_heap_.begin(), timer_heap_.end(),
+                   std::greater<TimerEntry>{});
+  }
+  wake();
+  return tid;
+}
+
+void ThreadRuntime::cancel(TimerId timer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  timer_cbs_.erase(timer);  // heap entry fires into nothing
+}
+
+Task ThreadRuntime::guard(Task fn) {
+  // Nodes on this backend live exactly as long as their loop (no
+  // crash/recover mid-run), so the epoch guard is the identity.
+  return fn;
+}
+
+bool ThreadRuntime::peer_alive(ProcessId p) const {
+  return cluster_.has_peer(p);
+}
+
+StableSlot& ThreadRuntime::stable_record(const std::string& key) {
+  return stable_[key];
+}
+
+std::string ThreadRuntime::storage_path(const std::string& leaf) const {
+  return cluster_.options().storage_dir + "/p" + std::to_string(pid_) + "/" +
+         leaf;
+}
+
+void* ThreadRuntime::stable_map(const std::string& key, std::size_t size,
+                                bool* fresh) {
+  if (cluster_.options().storage_dir.empty()) return nullptr;
+  make_dir(cluster_.options().storage_dir);
+  make_dir(cluster_.options().storage_dir + "/p" + std::to_string(pid_));
+  const std::string path = storage_path("slot_" + sanitize_key(key));
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  MRP_CHECK_MSG(fd >= 0, "cannot open stable slot file");
+  struct stat st{};
+  MRP_CHECK(::fstat(fd, &st) == 0);
+  *fresh = static_cast<std::size_t>(st.st_size) < size;
+  if (*fresh) MRP_CHECK(::ftruncate(fd, static_cast<off_t>(size)) == 0);
+  void* mapped =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  MRP_CHECK_MSG(mapped != MAP_FAILED, "mmap of stable slot failed");
+  mappings_.emplace_back(mapped, size);
+  return mapped;
+}
+
+int ThreadRuntime::durable_fd(int disk_index) {
+  auto it = durable_fds_.find(disk_index);
+  if (it != durable_fds_.end()) return it->second;
+  make_dir(cluster_.options().storage_dir);
+  make_dir(cluster_.options().storage_dir + "/p" + std::to_string(pid_));
+  const std::string path = storage_path("wal" + std::to_string(disk_index));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  MRP_CHECK_MSG(fd >= 0, "cannot open durable log file");
+  durable_fds_.emplace(disk_index, fd);
+  return fd;
+}
+
+void ThreadRuntime::durable_write(int disk_index, std::size_t bytes,
+                                  Task done) {
+  if (!cluster_.options().storage_dir.empty()) {
+    // Synchronous append+fsync on the loop thread: the caller observes real
+    // device latency, the way the sim's Disk models it.
+    const int fd = durable_fd(disk_index);
+    static const std::vector<std::uint8_t> zeros(64 * 1024, 0);
+    std::size_t left = bytes;
+    while (left > 0) {
+      const std::size_t n = std::min(left, zeros.size());
+      const ssize_t w = ::write(fd, zeros.data(), n);
+      MRP_CHECK_MSG(w > 0, "durable log write failed");
+      left -= static_cast<std::size_t>(w);
+    }
+#ifdef __APPLE__
+    ::fsync(fd);
+#else
+    ::fdatasync(fd);
+#endif
+  }
+  if (done) done();
+}
+
+TimeNs ThreadRuntime::next_deadline() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Cancelled timers may linger in the heap; waking early for one is
+  // harmless (the fire loop skips it).
+  return timer_heap_.empty() ? kNoDeadline : timer_heap_.front().deadline;
+}
+
+void ThreadRuntime::fire_due_timers() {
+  for (;;) {
+    Task fn;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      bool found = false;
+      while (!timer_heap_.empty() && !found) {
+        if (timer_heap_.front().deadline > now()) break;
+        std::pop_heap(timer_heap_.begin(), timer_heap_.end(),
+                      std::greater<TimerEntry>{});
+        const TimerId tid = timer_heap_.back().id;
+        timer_heap_.pop_back();
+        auto it = timer_cbs_.find(tid);
+        if (it != timer_cbs_.end()) {
+          fn = std::move(it->second);
+          timer_cbs_.erase(it);
+          found = true;
+        }
+      }
+      if (!found) return;
+    }
+    fn();
+  }
+}
+
+void ThreadRuntime::drain_posted(std::vector<Task>& out) {
+  out.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.swap(posted_);
+  }
+  for (Task& t : out) t();
+  out.clear();
+}
+
+void ThreadRuntime::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: try again next poll
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    in_.push_back(Inbound{fd, {}});
+  }
+}
+
+void ThreadRuntime::read_ready(Inbound& in) {
+  std::uint8_t chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(in.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in.buf.insert(in.buf.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer closed or errored: the connection's queued frames are lost
+    // (at-most-once delivery), the buffer's complete frames still count.
+    ::close(in.fd);
+    in.fd = -1;
+    break;
+  }
+  dispatch_frames(in);
+}
+
+void ThreadRuntime::dispatch_frames(Inbound& in) {
+  std::size_t pos = 0;
+  while (in.buf.size() - pos >= 4) {
+    const std::uint32_t len = load_le32(in.buf.data() + pos);
+    MRP_CHECK_MSG(len >= 12 && len <= kMaxFrame, "malformed frame length");
+    if (in.buf.size() - pos < 4u + len) break;
+    const std::uint8_t* p = in.buf.data() + pos + 4;
+    const auto from = static_cast<ProcessId>(load_le32(p));
+    const auto to = static_cast<ProcessId>(load_le32(p + 4));
+    const int kind = static_cast<int>(load_le32(p + 8));
+    pos += 4u + len;
+    MRP_CHECK_MSG(cluster_.options().codec.decode != nullptr,
+                  "ThreadCluster has no wire codec");
+    codec::Reader r(p + 12, len - 12);
+    MessagePtr m = cluster_.options().codec.decode(kind, r);
+    MRP_CHECK_MSG(m != nullptr, "no wire decoder for received message kind");
+    r.expect_done();
+    if (to == pid_ && node_) node_->on_message(from, *m);
+  }
+  if (pos > 0) in.buf.erase(in.buf.begin(), in.buf.begin() + pos);
+}
+
+void ThreadRuntime::close_outbound(Outbound& ob) {
+  if (ob.fd >= 0) ::close(ob.fd);
+  ob.fd = -1;
+  ob.connecting = false;
+  ob.pending.clear();  // at-most-once: queued frames die with the link
+  ob.off = 0;
+}
+
+void ThreadRuntime::flush_one(ProcessId to, Outbound& ob) {
+  if (ob.pending.empty() && ob.fd < 0) return;
+  if (ob.fd < 0) {
+    const std::uint16_t port = cluster_.port_of(to);
+    if (port == 0) {  // peer vanished from the map: drop
+      ob.pending.clear();
+      ob.off = 0;
+      return;
+    }
+    ob.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MRP_CHECK(ob.fd >= 0);
+    set_nonblocking(ob.fd);
+    set_nodelay(ob.fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    const int rc =
+        ::connect(ob.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0) {
+      if (errno == EINPROGRESS) {
+        ob.connecting = true;
+        return;  // POLLOUT completes the connect
+      }
+      close_outbound(ob);
+      return;
+    }
+    ob.connecting = false;
+  }
+  if (ob.connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(ob.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err == EINPROGRESS) {
+      return;  // still connecting
+    }
+    if (err != 0) {
+      close_outbound(ob);
+      return;
+    }
+    ob.connecting = false;
+  }
+  while (ob.off < ob.pending.size()) {
+    const ssize_t n = ::send(ob.fd, ob.pending.data() + ob.off,
+                             ob.pending.size() - ob.off, MSG_NOSIGNAL);
+    if (n > 0) {
+      ob.off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_outbound(ob);
+    return;
+  }
+  ob.pending.clear();
+  ob.off = 0;
+}
+
+void ThreadRuntime::flush_outbound() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [to, staged] : staged_out_) {
+      if (staged.empty()) continue;
+      auto& ob = out_[to];
+      if (ob.pending.empty()) {
+        ob.pending = std::move(staged);
+        staged.clear();
+        ob.off = 0;
+      } else {
+        ob.pending.insert(ob.pending.end(), staged.begin(), staged.end());
+        staged.clear();
+      }
+    }
+  }
+  for (auto& [to, ob] : out_) flush_one(to, ob);
+}
+
+void ThreadRuntime::loop() {
+  if (factory_) {
+    node_ = factory_(*this);
+    node_->on_start();
+  }
+  std::vector<Task> tasks;
+  std::vector<pollfd> pfds;
+  std::vector<ProcessId> out_order;
+  while (!stop_.load(std::memory_order_acquire)) {
+    drain_posted(tasks);
+    fire_due_timers();
+    flush_outbound();
+    in_.erase(std::remove_if(in_.begin(), in_.end(),
+                             [](const Inbound& in) { return in.fd < 0; }),
+              in_.end());
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    pfds.clear();
+    out_order.clear();
+    pfds.push_back(pollfd{wake_r_, POLLIN, 0});
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    // Snapshot the inbound count NOW: accept_ready() below grows in_, and
+    // the revents dispatch must index pfds by the layout it was built with.
+    const std::size_t n_in = in_.size();
+    for (const Inbound& in : in_) pfds.push_back(pollfd{in.fd, POLLIN, 0});
+    for (const auto& [to, ob] : out_) {
+      if (ob.fd >= 0 && (ob.connecting || ob.off < ob.pending.size())) {
+        pfds.push_back(pollfd{ob.fd, POLLOUT, 0});
+        out_order.push_back(to);
+      }
+    }
+
+    int timeout_ms = 200;  // re-check stop_/timers at least this often
+    const TimeNs deadline = next_deadline();
+    if (deadline != kNoDeadline) {
+      const TimeNs delta = deadline - now();
+      timeout_ms = delta <= 0
+                       ? 0
+                       : static_cast<int>(std::min<TimeNs>(
+                             delta / 1'000'000 + 1, 200));
+    }
+    const int nready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (nready <= 0) continue;
+
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t buf[256];
+      while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) accept_ready();
+    for (std::size_t i = 0; i < n_in; ++i) {
+      if (pfds[2 + i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        read_ready(in_[i]);
+      }
+    }
+    for (std::size_t i = 0; i < out_order.size(); ++i) {
+      if (pfds[2 + n_in + i].revents & (POLLOUT | POLLHUP | POLLERR)) {
+        flush_one(out_order[i], out_[out_order[i]]);
+      }
+    }
+  }
+  node_.reset();  // destroy the node on its own loop thread
+}
+
+// ---------------------------------------------------------------------------
+// ThreadCluster
+// ---------------------------------------------------------------------------
+
+ThreadCluster::ThreadCluster(ThreadClusterOptions options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+ThreadCluster::~ThreadCluster() { stop(); }
+
+TimeNs ThreadCluster::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+ThreadRuntime& ThreadCluster::add_local(ProcessId pid, NodeFactory factory,
+                                        std::uint16_t port) {
+  MRP_CHECK_MSG(!started_, "add_local after start");
+  MRP_CHECK_MSG(!has_peer(pid), "duplicate process id");
+  auto rt =
+      std::unique_ptr<ThreadRuntime>(new ThreadRuntime(*this, pid, port));
+  rt->factory_ = std::move(factory);
+  ThreadRuntime& ref = *rt;
+  locals_.emplace(pid, std::move(rt));
+  return ref;
+}
+
+ThreadRuntime& ThreadCluster::add_oracle(ProcessId pid) {
+  return add_local(pid, nullptr);
+}
+
+void ThreadCluster::add_remote(ProcessId pid, std::uint16_t port) {
+  MRP_CHECK_MSG(!started_, "add_remote after start");
+  MRP_CHECK_MSG(!has_peer(pid), "duplicate process id");
+  remote_ports_.emplace(pid, port);
+}
+
+std::uint16_t ThreadCluster::port_of(ProcessId pid) const {
+  if (auto it = locals_.find(pid); it != locals_.end()) {
+    return it->second->port();
+  }
+  if (auto it = remote_ports_.find(pid); it != remote_ports_.end()) {
+    return it->second;
+  }
+  return 0;
+}
+
+bool ThreadCluster::has_peer(ProcessId pid) const {
+  return locals_.count(pid) != 0 || remote_ports_.count(pid) != 0;
+}
+
+void ThreadCluster::start() {
+  MRP_CHECK_MSG(!started_, "double start");
+  started_ = true;
+  for (auto& [pid, rt] : locals_) {
+    ThreadRuntime* r = rt.get();
+    r->thread_ = std::thread([r] { r->loop(); });
+  }
+}
+
+void ThreadCluster::stop() {
+  if (!started_ || stopped_) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  for (auto& [pid, rt] : locals_) {
+    rt->stop_.store(true, std::memory_order_release);
+    rt->wake();
+  }
+  for (auto& [pid, rt] : locals_) {
+    if (rt->thread_.joinable()) rt->thread_.join();
+  }
+}
+
+void ThreadCluster::call(ProcessId pid, const std::function<void(Node*)>& fn) {
+  MRP_CHECK_MSG(started_ && !stopped_, "call outside start/stop window");
+  auto it = locals_.find(pid);
+  MRP_CHECK_MSG(it != locals_.end(), "call on unknown/remote process");
+  ThreadRuntime& rt = *it->second;
+  std::promise<void> done;
+  {
+    std::lock_guard<std::mutex> lk(rt.mu_);
+    rt.posted_.push_back([&rt, &fn, &done] {
+      fn(rt.node_.get());
+      done.set_value();
+    });
+  }
+  rt.wake();
+  done.get_future().get();
+}
+
+Runtime& ThreadCluster::runtime(ProcessId pid) {
+  auto it = locals_.find(pid);
+  MRP_CHECK_MSG(it != locals_.end(), "unknown local process");
+  return *it->second;
+}
+
+}  // namespace mrp::runtime

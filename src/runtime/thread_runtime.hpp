@@ -1,0 +1,222 @@
+// ThreadRuntime — the real-hardware backend of runtime::Runtime.
+//
+// One event-loop thread per process over nonblocking loopback TCP:
+//   * transport — every cross-process send is serialized with the zero-copy
+//     codec (net/wire.cpp supplies the per-kind encoders) onto a
+//     length-prefixed frame [u32 len][u32 from][u32 to][u32 kind][body] and
+//     written to a real socket; each process owns a listener and lazily
+//     connects to peers. Delivery is at-most-once: a broken connection
+//     drops queued frames, exactly the simulated network's contract.
+//   * timers — per-loop steady-clock min-heap with lazy cancellation;
+//     now() is nanoseconds since the cluster epoch on std::chrono::
+//     steady_clock (immune to NTP jumps).
+//   * readiness — poll(2) over {wake pipe, listener, connections}; sends
+//     and timers posted from other threads (the shared registry oracle)
+//     stage under a mutex and wake the loop through the pipe.
+//   * stable slots — trivially-copyable types are mmap'd from files under
+//     the cluster storage dir (crash-surviving like Env::stable); other
+//     types live on the heap. durable_write appends to a per-process WAL
+//     file and fsyncs.
+//
+// ThreadCluster wires a set of ThreadRuntimes (plus optional remote peers
+// served by other OS processes, for mrpd/mrpctl) into one deployment.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/types.hpp"
+#include "runtime/node.hpp"
+#include "runtime/runtime.hpp"
+
+namespace mrp::runtime {
+
+/// Serializer/deserializer hooks for TCP transport. Implemented by
+/// net/wire.cpp so this layer stays protocol-agnostic.
+struct WireCodec {
+  /// Appends the body encoding of m to w. Returns false for unknown kinds.
+  bool (*encode)(codec::Writer& w, const Message& m) = nullptr;
+  /// Decodes a body of `kind`; returns null for unknown kinds.
+  MessagePtr (*decode)(int kind, codec::Reader& r) = nullptr;
+};
+
+struct ThreadClusterOptions {
+  /// Roots every per-process Rng (forked per pid, deterministic draws —
+  /// though cross-process interleaving is real and nondeterministic).
+  std::uint64_t seed = 1;
+  /// Directory for file-backed stable slots and durable writes; empty =
+  /// everything stays in memory (no crash survival, fine for benches).
+  std::string storage_dir;
+  WireCodec codec;
+};
+
+class ThreadCluster;
+
+class ThreadRuntime final : public Runtime {
+ public:
+  ~ThreadRuntime() override;
+
+  ProcessId id() const override { return pid_; }
+  TimeNs now() const override;
+  Rng& rng() override { return rng_; }
+  void send(ProcessId to, MessagePtr m) override;
+  TimerId schedule(TimeNs delay, Task fn) override;
+  void cancel(TimerId timer) override;
+  Task guard(Task fn) override;
+  void charge(TimeNs) override {}  // the cost is real on this backend
+  void charge_background(TimeNs) override {}
+  bool peer_alive(ProcessId p) const override;
+  StableSlot& stable_record(const std::string& key) override;
+  void durable_write(int disk_index, std::size_t bytes, Task done) override;
+
+  /// Loopback port of this process's listener.
+  std::uint16_t port() const { return port_; }
+  /// The hosted node (loop thread only; null for oracles).
+  Node* node() { return node_.get(); }
+
+ protected:
+  void* stable_map(const std::string& key, std::size_t size,
+                   bool* fresh) override;
+
+ private:
+  friend class ThreadCluster;
+
+  ThreadRuntime(ThreadCluster& cluster, ProcessId pid, std::uint16_t port);
+
+  struct TimerEntry {
+    TimeNs deadline;
+    TimerId id;
+    bool operator>(const TimerEntry& o) const {
+      return deadline > o.deadline || (deadline == o.deadline && id > o.id);
+    }
+  };
+  struct Outbound {
+    int fd = -1;
+    bool connecting = false;
+    std::vector<std::uint8_t> pending;  // loop-owned write backlog
+    std::size_t off = 0;
+  };
+  struct Inbound {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+  };
+
+  void loop();
+  void wake();
+  void drain_posted(std::vector<Task>& out);
+  void fire_due_timers();
+  TimeNs next_deadline();  // kNoDeadline if none
+  void accept_ready();
+  void read_ready(Inbound& in);
+  void dispatch_frames(Inbound& in);
+  void flush_outbound();
+  void flush_one(ProcessId to, Outbound& ob);
+  void close_outbound(Outbound& ob);
+  int durable_fd(int disk_index);
+  std::string storage_path(const std::string& leaf) const;
+
+  static constexpr TimeNs kNoDeadline =
+      std::numeric_limits<TimeNs>::max();
+
+  ThreadCluster& cluster_;
+  ProcessId pid_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  Rng rng_;
+
+  std::function<std::unique_ptr<Node>(Runtime&)> factory_;  // null for oracle
+  std::unique_ptr<Node> node_;  // loop thread only
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  // Cross-thread staging (sends/timers/posts from any thread).
+  std::mutex mu_;
+  std::vector<Task> posted_;
+  std::unordered_map<ProcessId, std::vector<std::uint8_t>> staged_out_;
+  std::vector<TimerEntry> timer_heap_;  // min-heap via std::greater
+  std::unordered_map<TimerId, Task> timer_cbs_;
+  TimerId next_timer_ = kNoTimer;
+
+  // Loop-owned I/O state.
+  std::unordered_map<ProcessId, Outbound> out_;
+  std::vector<Inbound> in_;
+
+  // Stable storage (own loop thread only).
+  std::unordered_map<std::string, StableSlot> stable_;
+  std::vector<std::pair<void*, std::size_t>> mappings_;
+  std::map<int, int> durable_fds_;
+};
+
+class ThreadCluster {
+ public:
+  using NodeFactory = std::function<std::unique_ptr<Node>(Runtime&)>;
+
+  explicit ThreadCluster(ThreadClusterOptions options);
+  ~ThreadCluster();  // stop() + join
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Registers a local process: its loopback listener binds immediately
+  /// (so port_of works before start) and `factory` constructs the node on
+  /// the process's own loop thread at start(). `port` 0 binds an ephemeral
+  /// port; a fixed port lets separate OS processes compute each other's
+  /// addresses up front (the mrpd convention: base_port + pid).
+  ThreadRuntime& add_local(ProcessId pid, NodeFactory factory,
+                           std::uint16_t port = 0);
+
+  /// Registers a local actor with no node — an oracle like the registry:
+  /// it gets a loop thread (timers + outgoing notifications) but hosts no
+  /// message handler.
+  ThreadRuntime& add_oracle(ProcessId pid);
+
+  /// Registers a process served by another OS process listening on
+  /// 127.0.0.1:`port` (the mrpd/mrpctl split).
+  void add_remote(ProcessId pid, std::uint16_t port);
+
+  std::uint16_t port_of(ProcessId pid) const;
+  bool has_peer(ProcessId pid) const;
+
+  /// Starts every local loop thread; node factories run on their loops.
+  void start();
+
+  /// Stops every loop and joins (idempotent). Nodes are destroyed on their
+  /// own loop threads.
+  void stop();
+
+  /// Runs fn on pid's loop thread, blocking until it completed — the way
+  /// harness code inspects or drives a node after start() (fn receives the
+  /// hosted node, null for oracles).
+  void call(ProcessId pid, const std::function<void(Node*)>& fn);
+
+  Runtime& runtime(ProcessId pid);
+
+  const ThreadClusterOptions& options() const { return options_; }
+  /// Nanoseconds since cluster construction on the steady clock.
+  TimeNs now() const;
+
+ private:
+  friend class ThreadRuntime;
+
+  ThreadClusterOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<ProcessId, std::unique_ptr<ThreadRuntime>> locals_;
+  std::map<ProcessId, std::uint16_t> remote_ports_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace mrp::runtime

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/sim_runtime.hpp"
+
 namespace mrp::sim {
 
 Env::Env(std::uint64_t seed)
@@ -10,22 +12,24 @@ Env::Env(std::uint64_t seed)
         deliver(from, to, std::move(msg));
       }) {}
 
-Env::Runtime& Env::rt(ProcessId id) {
-  auto it = runtimes_.find(id);
-  MRP_CHECK_MSG(it != runtimes_.end(), "unknown process id");
+Env::~Env() = default;
+
+Env::ProcRecord& Env::rec(ProcessId id) {
+  auto it = records_.find(id);
+  MRP_CHECK_MSG(it != records_.end(), "unknown process id");
   return it->second;
 }
 
-const Env::Runtime& Env::rt(ProcessId id) const {
-  auto it = runtimes_.find(id);
-  MRP_CHECK_MSG(it != runtimes_.end(), "unknown process id");
+const Env::ProcRecord& Env::rec(ProcessId id) const {
+  auto it = records_.find(id);
+  MRP_CHECK_MSG(it != records_.end(), "unknown process id");
   return it->second;
 }
 
-Process* Env::add_process(ProcessId id, ProcessFactory factory) {
-  MRP_CHECK_MSG(runtimes_.find(id) == runtimes_.end(),
+runtime::Node* Env::add_process(ProcessId id, ProcessFactory factory) {
+  MRP_CHECK_MSG(records_.find(id) == records_.end(),
                 "process id already registered");
-  Runtime& r = runtimes_[id];
+  ProcRecord& r = records_[id];
   r.factory = std::move(factory);
   r.alive = true;
   r.epoch = 1;
@@ -35,24 +39,37 @@ Process* Env::add_process(ProcessId id, ProcessFactory factory) {
   return r.proc.get();
 }
 
-Process* Env::process(ProcessId id) { return rt(id).proc.get(); }
+runtime::Node* Env::process(ProcessId id) { return rec(id).proc.get(); }
 
-bool Env::is_alive(ProcessId id) const {
-  auto it = runtimes_.find(id);
-  return it != runtimes_.end() && it->second.alive;
+runtime::Runtime& Env::runtime_for(ProcessId id) {
+  auto& slot = adapters_[id];
+  if (!slot) slot = std::make_unique<SimRuntime>(*this, id);
+  return *slot;
 }
 
-std::uint64_t Env::epoch(ProcessId id) const { return rt(id).epoch; }
+runtime::Runtime& Env::oracle_runtime(ProcessId id) {
+  MRP_CHECK_MSG(id < 0, "oracle ids are negative by convention");
+  auto& slot = oracle_adapters_[id];
+  if (!slot) slot = std::make_unique<SimRuntime>(*this, id, /*oracle=*/true);
+  return *slot;
+}
+
+bool Env::is_alive(ProcessId id) const {
+  auto it = records_.find(id);
+  return it != records_.end() && it->second.alive;
+}
+
+std::uint64_t Env::epoch(ProcessId id) const { return rec(id).epoch; }
 
 std::vector<ProcessId> Env::all_processes() const {
   std::vector<ProcessId> out;
-  out.reserve(runtimes_.size());
-  for (const auto& [id, _] : runtimes_) out.push_back(id);
+  out.reserve(records_.size());
+  for (const auto& [id, _] : records_) out.push_back(id);
   return out;
 }
 
 void Env::crash(ProcessId id) {
-  Runtime& r = rt(id);
+  ProcRecord& r = rec(id);
   MRP_CHECK_MSG(r.alive, "crashing a process that is already down");
   r.alive = false;
   ++r.epoch;  // invalidates all outstanding timers/guards/run events
@@ -63,7 +80,7 @@ void Env::crash(ProcessId id) {
 }
 
 void Env::recover(ProcessId id) {
-  Runtime& r = rt(id);
+  ProcRecord& r = rec(id);
   MRP_CHECK_MSG(!r.alive, "recovering a process that is alive");
   r.alive = true;
   ++r.epoch;
@@ -72,14 +89,14 @@ void Env::recover(ProcessId id) {
   r.proc->on_start();
 }
 
-void Env::set_cpu(ProcessId id, CpuParams p) { rt(id).cpu = p; }
+void Env::set_cpu(ProcessId id, CpuParams p) { rec(id).cpu = p; }
 
-TimeNs Env::cpu_busy(ProcessId id) const { return rt(id).busy_ns; }
+TimeNs Env::cpu_busy(ProcessId id) const { return rec(id).busy_ns; }
 
-TimeNs Env::cpu_background(ProcessId id) const { return rt(id).background_ns; }
+TimeNs Env::cpu_background(ProcessId id) const { return rec(id).background_ns; }
 
 void Env::reset_cpu_accounting() {
-  for (auto& [_, r] : runtimes_) {
+  for (auto& [_, r] : records_) {
     r.busy_ns = 0;
     r.background_ns = 0;
   }
@@ -108,17 +125,17 @@ void Env::send_from(ProcessId from, ProcessId to, MessagePtr m) {
 }
 
 void Env::schedule_guarded(ProcessId pid, TimeNs delay, Task fn) {
-  const std::uint64_t epoch = rt(pid).epoch;
+  const std::uint64_t epoch = rec(pid).epoch;
   sim_.schedule_after(delay, [this, pid, epoch, f = std::move(fn)]() mutable {
-    const Runtime& r = rt(pid);
+    const ProcRecord& r = rec(pid);
     if (r.alive && r.epoch == epoch) f();
   });
 }
 
 Task Env::make_guard(ProcessId pid, Task fn) {
-  const std::uint64_t epoch = rt(pid).epoch;
+  const std::uint64_t epoch = rec(pid).epoch;
   return [this, pid, epoch, f = std::move(fn)]() mutable {
-    const Runtime& r = rt(pid);
+    const ProcRecord& r = rec(pid);
     if (r.alive && r.epoch == epoch) f();
   };
 }
@@ -130,38 +147,38 @@ void Env::charge(ProcessId pid, TimeNs cpu) {
     return;
   }
   // Charged outside a handler (timer context): occupy the lane directly.
-  Runtime& r = rt(pid);
+  ProcRecord& r = rec(pid);
   r.busy_until = std::max(sim_.now(), r.busy_until) + cpu;
   r.busy_ns += cpu;
 }
 
 void Env::charge_background(ProcessId pid, TimeNs cpu) {
   MRP_CHECK(cpu >= 0);
-  rt(pid).background_ns += cpu;
+  rec(pid).background_ns += cpu;
 }
 
 void Env::deliver(ProcessId from, ProcessId to, MessagePtr msg) {
-  auto it = runtimes_.find(to);
-  if (it == runtimes_.end() || !it->second.alive) return;  // dropped
+  auto it = records_.find(to);
+  if (it == records_.end() || !it->second.alive) return;  // dropped
   it->second.queue.emplace_back(from, std::move(msg));
   pump(to);
 }
 
 void Env::pump(ProcessId pid) {
-  Runtime& r = rt(pid);
+  ProcRecord& r = rec(pid);
   if (r.running || r.queue.empty() || !r.alive) return;
   r.running = true;
   const std::uint64_t epoch = r.epoch;
   const TimeNs when = std::max(sim_.now(), r.busy_until);
   sim_.schedule_at(when, [this, pid, epoch] {
-    Runtime& r2 = rt(pid);
+    ProcRecord& r2 = rec(pid);
     if (!r2.alive || r2.epoch != epoch) return;  // crashed meanwhile
     run_one(pid);
   });
 }
 
 void Env::run_one(ProcessId pid) {
-  Runtime& r = rt(pid);
+  ProcRecord& r = rec(pid);
   r.running = false;
   if (!r.alive || r.queue.empty()) return;
   auto [from, msg] = std::move(r.queue.front());
@@ -180,7 +197,7 @@ void Env::run_one(ProcessId pid) {
   current_charge_ = saved_charge;
 
   // The process may have crashed itself inside the handler.
-  Runtime& r2 = rt(pid);
+  ProcRecord& r2 = rec(pid);
   if (!r2.alive) return;
   r2.busy_until = sim_.now() + charge;
   r2.busy_ns += charge;

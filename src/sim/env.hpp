@@ -2,6 +2,11 @@
 // process, per-process CPU accounting, disks, and crash-surviving stable
 // storage. This is the only stateful singleton a deployment needs; tests and
 // benches construct one Env per experiment.
+//
+// Processes are runtime::Node actors; the Env hands each one a SimRuntime
+// adapter (runtime_for), so the same protocol objects also run on the
+// thread/socket backend. sim::Process keeps the legacy (Env&, ProcessId)
+// construction surface for harness subclasses.
 #pragma once
 
 #include <deque>
@@ -17,6 +22,8 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "runtime/node.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/disk.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
@@ -24,6 +31,8 @@
 #include "sim/simulator.hpp"
 
 namespace mrp::sim {
+
+class SimRuntime;
 
 /// CPU service-time model for one process: handling a delivered message
 /// costs per_message + per_byte_ns * wire_size. While a process is busy,
@@ -37,6 +46,7 @@ class Env {
  public:
   /// `seed` flows to the Simulator and roots all randomness of the run.
   explicit Env(std::uint64_t seed = 1);
+  ~Env();
 
   /// The event loop.
   Simulator& sim() { return sim_; }
@@ -48,11 +58,11 @@ class Env {
   Rng& rng() { return sim_.rng(); }
 
   using ProcessFactory =
-      std::function<std::unique_ptr<Process>(Env&, ProcessId)>;
+      std::function<std::unique_ptr<runtime::Node>(Env&, ProcessId)>;
 
   /// Registers and starts a process. The factory is retained and re-run on
   /// recover(). Returns the live instance.
-  Process* add_process(ProcessId id, ProcessFactory factory);
+  runtime::Node* add_process(ProcessId id, ProcessFactory factory);
 
   /// Convenience: spawn<T>(id, args...) constructs T(env, id, args...),
   /// capturing copies of args for reconstruction at recovery.
@@ -70,7 +80,7 @@ class Env {
   }
 
   /// The live instance for `id` (null while crashed).
-  Process* process(ProcessId id);
+  runtime::Node* process(ProcessId id);
   /// The live instance downcast to T; aborts on type mismatch.
   template <class T>
   T* process_as(ProcessId id) {
@@ -78,6 +88,15 @@ class Env {
     MRP_CHECK_MSG(p != nullptr, "process type mismatch");
     return p;
   }
+
+  /// The per-process runtime adapter (stable across crash/recover). This is
+  /// what protocol objects constructed through the (Env&, ProcessId) compat
+  /// constructors receive as their Runtime.
+  runtime::Runtime& runtime_for(ProcessId id);
+
+  /// Runtime adapter for an oracle actor (negative id, e.g. the registry's
+  /// kRegistrySender): unguarded timers, faults bypassed, no CPU lane.
+  runtime::Runtime& oracle_runtime(ProcessId id);
 
   /// True while the process is up (between add_process/recover and crash).
   bool is_alive(ProcessId id) const;
@@ -119,7 +138,7 @@ class Env {
   /// silent undefined behaviour — so it aborts loudly instead.
   template <class T>
   T& stable(ProcessId id, const std::string& key) {
-    StableSlot& slot = stable_[{id, key}];
+    runtime::StableSlot& slot = stable_slot(id, key);
     if (!slot.ptr) {
       slot.ptr = std::shared_ptr<void>(new T(), [](void* p) {
         delete static_cast<T*>(p);
@@ -131,7 +150,12 @@ class Env {
     return *static_cast<T*>(slot.ptr.get());
   }
 
-  // --- used by Process ---
+  /// The raw crash-surviving cell behind stable<T> (used by SimRuntime).
+  runtime::StableSlot& stable_slot(ProcessId id, const std::string& key) {
+    return stable_[{id, key}];
+  }
+
+  // --- used by Process / SimRuntime ---
   /// Sends m from `from` to `to` (loopback skips the network but still
   /// queues through the receiver's CPU lane). Negative `from` ids mark
   /// oracle senders (the registry) whose traffic bypasses injected faults.
@@ -146,8 +170,8 @@ class Env {
   void charge_background(ProcessId pid, TimeNs cpu);
 
  private:
-  struct Runtime {
-    std::unique_ptr<Process> proc;
+  struct ProcRecord {
+    std::unique_ptr<runtime::Node> proc;
     ProcessFactory factory;
     bool alive = false;
     std::uint64_t epoch = 0;
@@ -162,19 +186,19 @@ class Env {
   void deliver(ProcessId from, ProcessId to, MessagePtr msg);
   void pump(ProcessId pid);
   void run_one(ProcessId pid);
-  Runtime& rt(ProcessId id);
-  const Runtime& rt(ProcessId id) const;
-
-  struct StableSlot {
-    std::shared_ptr<void> ptr;
-    std::type_index type = std::type_index(typeid(void));
-  };
+  ProcRecord& rec(ProcessId id);
+  const ProcRecord& rec(ProcessId id) const;
 
   Simulator sim_;
   Network net_;
-  std::map<ProcessId, Runtime> runtimes_;
+  std::map<ProcessId, ProcRecord> records_;
   std::map<std::pair<ProcessId, int>, std::unique_ptr<Disk>> disks_;
-  std::map<std::pair<ProcessId, std::string>, StableSlot> stable_;
+  std::map<std::pair<ProcessId, std::string>, runtime::StableSlot> stable_;
+  // Adapters live for the whole run (protocol objects hold references);
+  // oracle adapters are keyed separately so a (hypothetical) process with a
+  // negative id cannot collide with an oracle.
+  std::map<ProcessId, std::unique_ptr<SimRuntime>> adapters_;
+  std::map<ProcessId, std::unique_ptr<SimRuntime>> oracle_adapters_;
 
   ProcessId current_pid_ = kNoProcess;
   TimeNs current_charge_ = 0;

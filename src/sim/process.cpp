@@ -4,55 +4,7 @@
 
 namespace mrp::sim {
 
-void Process::send(ProcessId to, MessagePtr m) {
-  env_.send_from(id_, to, std::move(m));
-}
-
-void Process::after(TimeNs delay, Task fn) {
-  env_.schedule_guarded(id_, delay, std::move(fn));
-}
-
-void Process::every(TimeNs period, Task fn) {
-  rearm(period, std::make_shared<Task>(std::move(fn)));
-}
-
-void Process::rearm(TimeNs period, std::shared_ptr<Task> fn) {
-  // Re-arming closure: each firing re-checks liveness via the epoch guard
-  // installed by schedule_guarded, so the chain dies with the process. The
-  // callable itself is shared, so repeat firings re-wrap only this small
-  // (inline-sized) closure.
-  env_.schedule_guarded(id_, period, [this, period, fn] {
-    (*fn)();
-    rearm(period, fn);
-  });
-}
-
-void Process::every_while(TimeNs period, std::shared_ptr<const bool> active,
-                          Task fn) {
-  rearm_while(period, std::move(active), std::make_shared<Task>(std::move(fn)));
-}
-
-void Process::rearm_while(TimeNs period, std::shared_ptr<const bool> active,
-                          std::shared_ptr<Task> fn) {
-  env_.schedule_guarded(id_, period, [this, period, active, fn] {
-    if (!*active) return;  // owner cancelled: the chain dies here
-    (*fn)();
-    rearm_while(period, active, fn);
-  });
-}
-
-Task Process::guard(Task fn) {
-  return env_.make_guard(id_, std::move(fn));
-}
-
-void Process::charge(TimeNs cpu) { env_.charge(id_, cpu); }
-
-void Process::charge_background(TimeNs cpu) {
-  env_.charge_background(id_, cpu);
-}
-
-TimeNs Process::now() const { return env_.now(); }
-
-Rng& Process::rng() { return env_.rng(); }
+Process::Process(Env& env, ProcessId id)
+    : runtime::Node(env.runtime_for(id)), env_(env) {}
 
 }  // namespace mrp::sim

@@ -1,5 +1,12 @@
-// Base class for simulated processes (proposers, acceptors, learners,
-// replicas, clients, baseline servers).
+// Base class for simulated processes (test harness actors, baseline
+// servers, and anything else written directly against the sim).
+//
+// Process is the sim-flavored runtime::Node: it is constructed from
+// (Env&, ProcessId) — the factory signature Env::spawn uses — binds to the
+// Env's per-process SimRuntime adapter, and additionally exposes env() for
+// harness code that drives the simulation directly. All actor services
+// (send, after, every, guard, charge, now, rng, ...) are inherited from
+// runtime::Node and work identically on any backend.
 //
 // Lifecycle: constructed by a factory registered with the Env, then
 // on_start() runs. Env::crash() destroys the object and drops its queued
@@ -12,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "runtime/node.hpp"
 #include "sim/message.hpp"
 #include "sim/task.hpp"
 
@@ -19,69 +27,15 @@ namespace mrp::sim {
 
 class Env;
 
-class Process {
+class Process : public runtime::Node {
  public:
-  Process(Env& env, ProcessId id) : env_(env), id_(id) {}
-  virtual ~Process() = default;
+  Process(Env& env, ProcessId id);
 
-  Process(const Process&) = delete;
-  Process& operator=(const Process&) = delete;
-
-  /// This process's deployment-wide identifier.
-  ProcessId id() const { return id_; }
-
-  /// Called once after construction (both initial start and recovery).
-  virtual void on_start() {}
-
-  /// Handles a delivered message. The runtime automatically charges this
-  /// process's configured per-message/per-byte CPU cost; handlers may add
-  /// extra cost with charge().
-  virtual void on_message(ProcessId from, const Message& m) = 0;
-
-  // --- services available to subclasses (public so harnesses can drive) ---
-
-  /// Sends m over the simulated network (delivered after link delay; dropped
-  /// if the receiver is down, partitioned away, or eaten by injected faults).
-  void send(ProcessId to, MessagePtr m);
-
-  /// One-shot timer; cancelled implicitly if this process crashes first.
-  void after(TimeNs delay, Task fn);
-
-  /// Repeating timer with fixed period, first firing after one period.
-  void every(TimeNs period, Task fn);
-
-  /// Repeating timer gated on `active`: once *active turns false the chain
-  /// stops re-arming and fn is never invoked again — for timers owned by a
-  /// component (e.g. a detached ring handler) that can outlive its purpose
-  /// while the process keeps running.
-  void every_while(TimeNs period, std::shared_ptr<const bool> active,
-                   Task fn);
-
-  /// Wraps fn so that it is a no-op if this process has crashed (or crashed
-  /// and recovered) by the time it runs. Use for disk-completion callbacks.
-  Task guard(Task fn);
-
-  /// Adds CPU cost to the event being handled (serializes this process).
-  void charge(TimeNs cpu);
-
-  /// Adds CPU cost on a background lane (accounted for utilization metrics
-  /// but not serializing the message-handling lane), e.g. GC, flusher.
-  void charge_background(TimeNs cpu);
-
-  /// Current simulated time.
-  TimeNs now() const;
-  /// The owning environment.
+  /// The owning environment (sim-only surface; portable code uses rt()).
   Env& env() { return env_; }
-  /// The run's root random stream (shared; draws are event-order stable).
-  Rng& rng();
 
  private:
-  void rearm(TimeNs period, std::shared_ptr<Task> fn);
-  void rearm_while(TimeNs period, std::shared_ptr<const bool> active,
-                   std::shared_ptr<Task> fn);
-
   Env& env_;
-  ProcessId id_;
 };
 
 }  // namespace mrp::sim

@@ -1,0 +1,67 @@
+#include "sim/sim_runtime.hpp"
+
+#include <utility>
+
+#include "sim/env.hpp"
+
+namespace mrp::sim {
+
+SimRuntime::SimRuntime(Env& env, ProcessId id, bool oracle)
+    : env_(env), id_(id), oracle_(oracle) {}
+
+TimeNs SimRuntime::now() const { return env_.now(); }
+
+Rng& SimRuntime::rng() { return env_.rng(); }
+
+void SimRuntime::send(ProcessId to, runtime::MessagePtr m) {
+  env_.send_from(id_, to, std::move(m));
+}
+
+runtime::TimerId SimRuntime::schedule(TimeNs delay, runtime::Task fn) {
+  const runtime::TimerId tid = ++next_timer_;
+  pending_timers_.insert(tid);
+  // Oracle timers only honor cancel(); process timers additionally carry
+  // the epoch guard schedule_guarded provided before (crash => silent drop).
+  const std::uint64_t epoch = oracle_ ? 0 : env_.epoch(id_);
+  env_.sim().schedule_after(
+      delay, [this, tid, epoch, f = std::move(fn)]() mutable {
+        if (pending_timers_.erase(tid) == 0) return;  // cancelled
+        if (!oracle_ && (!env_.is_alive(id_) || env_.epoch(id_) != epoch)) {
+          return;
+        }
+        f();
+      });
+  return tid;
+}
+
+void SimRuntime::cancel(runtime::TimerId timer) {
+  pending_timers_.erase(timer);
+}
+
+runtime::Task SimRuntime::guard(runtime::Task fn) {
+  if (oracle_) return fn;  // oracles never crash
+  return env_.make_guard(id_, std::move(fn));
+}
+
+void SimRuntime::charge(TimeNs cpu) {
+  if (oracle_) return;  // the registry ensemble is outside the CPU model
+  env_.charge(id_, cpu);
+}
+
+void SimRuntime::charge_background(TimeNs cpu) {
+  if (oracle_) return;
+  env_.charge_background(id_, cpu);
+}
+
+bool SimRuntime::peer_alive(ProcessId p) const { return env_.is_alive(p); }
+
+runtime::StableSlot& SimRuntime::stable_record(const std::string& key) {
+  return env_.stable_slot(id_, key);
+}
+
+void SimRuntime::durable_write(int disk_index, std::size_t bytes,
+                               runtime::Task done) {
+  env_.disk(id_, disk_index).write(bytes, std::move(done));
+}
+
+}  // namespace mrp::sim

@@ -1,0 +1,55 @@
+// SimRuntime — the deterministic-simulation backend of runtime::Runtime.
+//
+// A thin per-process adapter over sim::Env: sends traverse the simulated
+// network, timers are epoch-guarded (they die silently when the process
+// crashes), now() is simulated time, stable slots and durable writes map to
+// the Env's crash-surviving storage and simulated disks. One adapter exists
+// per process id and survives crash/recover cycles — it delegates by id, so
+// a recovered incarnation picks up the same adapter.
+//
+// Oracle mode hosts non-process actors (the registry, sender id -100):
+// unguarded timers, no CPU lane, no disks; sends bypass injected faults
+// exactly like Env::send_from with a negative sender did.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "runtime/runtime.hpp"
+
+namespace mrp::sim {
+
+class Env;
+
+class SimRuntime final : public runtime::Runtime {
+ public:
+  SimRuntime(Env& env, ProcessId id, bool oracle = false);
+
+  ProcessId id() const override { return id_; }
+  TimeNs now() const override;
+  Rng& rng() override;
+  void send(ProcessId to, runtime::MessagePtr m) override;
+  runtime::TimerId schedule(TimeNs delay, runtime::Task fn) override;
+  void cancel(runtime::TimerId timer) override;
+  runtime::Task guard(runtime::Task fn) override;
+  void charge(TimeNs cpu) override;
+  void charge_background(TimeNs cpu) override;
+  bool peer_alive(ProcessId p) const override;
+  runtime::StableSlot& stable_record(const std::string& key) override;
+  void durable_write(int disk_index, std::size_t bytes,
+                     runtime::Task done) override;
+
+  Env& env() { return env_; }
+
+ private:
+  Env& env_;
+  ProcessId id_;
+  bool oracle_;
+  runtime::TimerId next_timer_ = runtime::kNoTimer;
+  // Pending (not yet fired, not cancelled) timer ids. The firing wrapper
+  // erases its id before checking the epoch guard, so entries never leak.
+  std::unordered_set<runtime::TimerId> pending_timers_;
+};
+
+}  // namespace mrp::sim

@@ -16,9 +16,9 @@ Request Request::single(GroupId group, std::vector<ProcessId> targets,
   return r;
 }
 
-ClientNode::ClientNode(sim::Env& env, ProcessId id, Options options,
+ClientNode::ClientNode(runtime::Runtime& rt, Options options,
                        NextFn next, DoneFn done)
-    : sim::Process(env, id),
+    : runtime::Node(rt),
       options_(options),
       next_(std::move(next)),
       done_(std::move(done)) {
@@ -162,13 +162,13 @@ void ClientNode::maybe_unpark() {
   }
 }
 
-void ClientNode::on_message(ProcessId /*from*/, const sim::Message& m) {
+void ClientNode::on_message(ProcessId /*from*/, const runtime::Message& m) {
   if (m.kind() == kMsgClientBusy) {
-    handle_busy(sim::msg_cast<MsgClientBusy>(m));
+    handle_busy(runtime::msg_cast<MsgClientBusy>(m));
     return;
   }
   if (m.kind() != kMsgClientReply) return;
-  const auto& reply = sim::msg_cast<MsgClientReply>(m);
+  const auto& reply = runtime::msg_cast<MsgClientReply>(m);
   const SessionId session = reply.session;
   const auto worker = static_cast<std::uint32_t>(session & 0xfffff);
   if (worker >= workers_.size()) return;

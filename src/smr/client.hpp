@@ -29,9 +29,12 @@
 #include "common/backoff.hpp"
 #include "common/histogram.hpp"
 #include "common/types.hpp"
-#include "sim/env.hpp"
-#include "sim/process.hpp"
+#include "runtime/node.hpp"
 #include "smr/command.hpp"
+
+namespace mrp::sim {
+class Env;
+}
 
 namespace mrp::smr {
 
@@ -57,7 +60,7 @@ struct Completion {
   TimeNs latency = 0;
 };
 
-class ClientNode : public sim::Process {
+class ClientNode : public runtime::Node {
  public:
   /// Returns the next request for `worker`, or nullopt to stop that worker.
   using NextFn = std::function<std::optional<Request>(std::uint32_t worker)>;
@@ -102,6 +105,11 @@ class ClientNode : public sim::Process {
     }
   };
 
+  ClientNode(runtime::Runtime& rt, Options options, NextFn next,
+             DoneFn done);
+
+  /// Sim convenience: binds to the Env's runtime adapter for `id` (defined
+  /// in smr_sim.cpp).
   ClientNode(sim::Env& env, ProcessId id, Options options, NextFn next,
              DoneFn done);
 
@@ -109,7 +117,7 @@ class ClientNode : public sim::Process {
   void set_reroute(RerouteFn fn) { reroute_ = std::move(fn); }
 
   void on_start() override;
-  void on_message(ProcessId from, const sim::Message& m) override;
+  void on_message(ProcessId from, const runtime::Message& m) override;
 
   std::uint64_t completed() const { return completed_; }
   std::uint64_t retries() const { return retries_; }

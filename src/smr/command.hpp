@@ -16,7 +16,7 @@
 
 #include "codec/codec.hpp"
 #include "common/types.hpp"
-#include "sim/message.hpp"
+#include "runtime/message.hpp"
 
 namespace mrp::smr {
 
@@ -58,7 +58,7 @@ Bytes encode_batch(const Batch& b);
 Batch decode_batch(const Bytes& data);
 
 /// Client -> proposer (a replica acting as proposer for `group`).
-struct MsgClientRequest final : sim::Message {
+struct MsgClientRequest final : runtime::Message {
   GroupId group = -1;
   Command command;
   int kind() const override { return kMsgClientRequest; }
@@ -66,7 +66,7 @@ struct MsgClientRequest final : sim::Message {
 };
 
 /// Replica -> client (datagram-style response; first one wins).
-struct MsgClientReply final : sim::Message {
+struct MsgClientReply final : runtime::Message {
   SessionId session = 0;
   std::uint64_t seq = 0;
   int partition_tag = 0;  // which partition answered (scan fan-in)
@@ -79,7 +79,7 @@ struct MsgClientReply final : sim::Message {
 /// full and the command was NOT proposed. The client re-sends the same
 /// command (rotating to the next candidate proposer) no sooner than
 /// `retry_after`, with jittered exponential backoff layered on top.
-struct MsgClientBusy final : sim::Message {
+struct MsgClientBusy final : runtime::Message {
   SessionId session = 0;
   std::uint64_t seq = 0;
   GroupId group = -1;

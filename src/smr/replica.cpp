@@ -7,15 +7,14 @@
 
 namespace mrp::smr {
 
-ReplicaNode::ReplicaNode(sim::Env& env, ProcessId id,
-                         coord::Registry* registry,
+ReplicaNode::ReplicaNode(runtime::Runtime& rt, coord::Registry* registry,
                          multiring::NodeConfig config,
                          StateMachineFactory factory, ReplicaOptions options)
-    : MultiRingNode(env, id, registry, std::move(config)),
+    : MultiRingNode(rt, registry, std::move(config)),
       factory_(std::move(factory)),
       options_(options) {
   MRP_CHECK(factory_ != nullptr);
-  sm_ = factory_(env, id);
+  sm_ = factory_(rt, id());
   MRP_CHECK(sm_ != nullptr);
 
   set_deliver([this](GroupId g, InstanceId i, const Payload& p) {
@@ -32,11 +31,11 @@ void ReplicaNode::on_start() {
   checkpointer_->start();
 }
 
-void ReplicaNode::on_app_message(ProcessId from, const sim::Message& m) {
+void ReplicaNode::on_app_message(ProcessId from, const runtime::Message& m) {
   if (checkpointer_->handle(from, m)) return;
   if (trim_->handle(from, m)) return;
   if (m.kind() == kMsgClientRequest) {
-    const auto& req = sim::msg_cast<MsgClientRequest>(m);
+    const auto& req = runtime::msg_cast<MsgClientRequest>(m);
     enqueue_request(req.group, req.command);
     return;
   }

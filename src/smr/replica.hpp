@@ -52,6 +52,12 @@ struct ReplicaOptions {
 
 class ReplicaNode : public multiring::MultiRingNode {
  public:
+  ReplicaNode(runtime::Runtime& rt, coord::Registry* registry,
+              multiring::NodeConfig config, StateMachineFactory factory,
+              ReplicaOptions options);
+
+  /// Sim convenience: binds to the Env's runtime adapter for `id` (defined
+  /// in smr_sim.cpp, the only sim-coupled TU of this module).
   ReplicaNode(sim::Env& env, ProcessId id, coord::Registry* registry,
               multiring::NodeConfig config, StateMachineFactory factory,
               ReplicaOptions options);
@@ -75,7 +81,7 @@ class ReplicaNode : public multiring::MultiRingNode {
   AdmissionStats admission_stats(GroupId group) const;
 
  protected:
-  void on_app_message(ProcessId from, const sim::Message& m) override;
+  void on_app_message(ProcessId from, const runtime::Message& m) override;
   void on_trimmed_gap(GroupId group, InstanceId trimmed_to) override;
   void on_own_value_delivered(GroupId group, const paxos::Value& v) override;
 

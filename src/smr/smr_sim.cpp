@@ -1,0 +1,21 @@
+// Sim-backend convenience constructors, kept in their own translation unit
+// so the smr headers and primary TUs stay free of sim dependencies.
+#include "sim/env.hpp"
+#include "smr/client.hpp"
+#include "smr/replica.hpp"
+
+namespace mrp::smr {
+
+ReplicaNode::ReplicaNode(sim::Env& env, ProcessId id,
+                         coord::Registry* registry,
+                         multiring::NodeConfig config,
+                         StateMachineFactory factory, ReplicaOptions options)
+    : ReplicaNode(env.runtime_for(id), registry, std::move(config),
+                  std::move(factory), options) {}
+
+ClientNode::ClientNode(sim::Env& env, ProcessId id, Options options,
+                       NextFn next, DoneFn done)
+    : ClientNode(env.runtime_for(id), options, std::move(next),
+                 std::move(done)) {}
+
+}  // namespace mrp::smr

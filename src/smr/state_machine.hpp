@@ -6,8 +6,8 @@
 
 #include "common/types.hpp"
 
-namespace mrp::sim {
-class Env;
+namespace mrp::runtime {
+class Runtime;
 }
 
 namespace mrp::smr {
@@ -31,7 +31,7 @@ class StateMachine {
 
 /// Factories are re-invoked when a crashed replica recovers, so they must be
 /// copyable and repeatable.
-using StateMachineFactory =
-    std::function<std::unique_ptr<StateMachine>(sim::Env& env, ProcessId self)>;
+using StateMachineFactory = std::function<std::unique_ptr<StateMachine>(
+    runtime::Runtime& rt, ProcessId self)>;
 
 }  // namespace mrp::smr

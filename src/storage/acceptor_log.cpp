@@ -15,14 +15,13 @@ std::string to_string(WriteMode m) {
   return "?";
 }
 
-AcceptorLog::AcceptorLog(sim::Env& env, ProcessId owner, GroupId ring,
-                         WriteMode mode, int disk_index)
-    : env_(env),
-      owner_(owner),
+AcceptorLog::AcceptorLog(runtime::Runtime& rt, GroupId ring, WriteMode mode,
+                         int disk_index)
+    : rt_(rt),
       mode_(mode),
       disk_index_(disk_index),
-      d_(env.stable<Durable>(owner,
-                             "ring/" + std::to_string(ring) + "/acceptor_log")) {}
+      d_(rt.stable<Durable>("ring/" + std::to_string(ring) +
+                            "/acceptor_log")) {}
 
 Round AcceptorLog::promised() const { return d_.promised; }
 
@@ -31,30 +30,30 @@ std::size_t AcceptorLog::record_wire_size(const paxos::LogRecord& r) {
   return 40 + r.value.payload.size();
 }
 
-void AcceptorLog::persist(std::size_t bytes, sim::Task done) {
+void AcceptorLog::persist(std::size_t bytes, runtime::Task done) {
   switch (mode_) {
     case WriteMode::Memory:
       if (done) done();
       return;
     case WriteMode::Async:
       // Queue the device write in the background; ack immediately.
-      env_.disk(owner_, disk_index_).write(bytes, nullptr);
+      rt_.durable_write(disk_index_, bytes, nullptr);
       if (done) done();
       return;
     case WriteMode::Sync:
-      env_.disk(owner_, disk_index_).write(bytes, std::move(done));
+      rt_.durable_write(disk_index_, bytes, std::move(done));
       return;
   }
 }
 
-void AcceptorLog::promise(Round r, sim::Task done) {
+void AcceptorLog::promise(Round r, runtime::Task done) {
   MRP_CHECK_MSG(r >= d_.promised, "promise must not regress");
   d_.promised = r;
   persist(16, std::move(done));
 }
 
 void AcceptorLog::accept(InstanceId instance, const paxos::LogRecord& record,
-                         sim::Task done) {
+                         runtime::Task done) {
   if (instance < d_.trimmed_to) {
     // The prefix below the trim point is gone for good (Section 5.2):
     // a stale re-proposal must not resurrect trimmed records, and the flat

@@ -27,7 +27,11 @@
 #include "common/instance_map.hpp"
 #include "common/types.hpp"
 #include "paxos/paxos.hpp"
-#include "sim/env.hpp"
+#include "runtime/runtime.hpp"
+
+namespace mrp::sim {
+class Env;
+}
 
 namespace mrp::storage {
 
@@ -37,8 +41,13 @@ std::string to_string(WriteMode m);
 
 class AcceptorLog {
  public:
-  /// Binds to the durable slot `ring/<ring>/acceptor_log` of process `owner`.
-  /// The same slot is picked up again after a crash.
+  /// Binds to the durable slot `ring/<ring>/acceptor_log` of the hosting
+  /// runtime's process. The same slot is picked up again after a crash.
+  AcceptorLog(runtime::Runtime& rt, GroupId ring, WriteMode mode,
+              int disk_index = 0);
+
+  /// Sim convenience: binds to process `owner`'s runtime adapter (defined in
+  /// storage_sim.cpp, the only sim-coupled TU of this module).
   AcceptorLog(sim::Env& env, ProcessId owner, GroupId ring, WriteMode mode,
               int disk_index = 0);
 
@@ -47,13 +56,13 @@ class AcceptorLog {
   // --- promises (multi-instance: one promised round for all instances) ---
   Round promised() const;
   /// Persists a promise; `done` fires when durable (per mode).
-  void promise(Round r, sim::Task done);
+  void promise(Round r, runtime::Task done);
 
   // --- accepted records ---
   /// Persists an accepted (instance, record); `done` fires per mode.
   /// Overwrites any record with a lower vround (Paxos re-proposal).
   void accept(InstanceId instance, const paxos::LogRecord& record,
-              sim::Task done);
+              runtime::Task done);
 
   /// Marks [instance, instance+count) decided (decision observed on ring).
   void mark_decided(InstanceId instance);
@@ -86,10 +95,9 @@ class AcceptorLog {
   };
 
   static std::size_t record_wire_size(const paxos::LogRecord& r);
-  void persist(std::size_t bytes, sim::Task done);
+  void persist(std::size_t bytes, runtime::Task done);
 
-  sim::Env& env_;
-  ProcessId owner_;
+  runtime::Runtime& rt_;
   WriteMode mode_;
   int disk_index_;
   Durable& d_;

@@ -17,17 +17,16 @@ bool tuple_leq(const CheckpointTuple& a, const CheckpointTuple& b) {
   return true;
 }
 
-CheckpointStore::CheckpointStore(sim::Env& env, ProcessId owner, int disk_index)
-    : env_(env),
-      owner_(owner),
+CheckpointStore::CheckpointStore(runtime::Runtime& rt, int disk_index)
+    : rt_(rt),
       disk_index_(disk_index),
-      d_(env.stable<Durable>(owner, "checkpoints")) {}
+      d_(rt.stable<Durable>("checkpoints")) {}
 
-void CheckpointStore::save(Checkpoint cp, sim::Task done) {
+void CheckpointStore::save(Checkpoint cp, runtime::Task done) {
   const std::size_t bytes = cp.wire_size();
   cp.sequence = ++d_.saves;
   d_.latest = std::move(cp);
-  env_.disk(owner_, disk_index_).write(bytes, std::move(done));
+  rt_.durable_write(disk_index_, bytes, std::move(done));
 }
 
 std::optional<Checkpoint> CheckpointStore::latest() const { return d_.latest; }

@@ -14,7 +14,11 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "sim/env.hpp"
+#include "runtime/runtime.hpp"
+
+namespace mrp::sim {
+class Env;
+}
 
 namespace mrp::storage {
 
@@ -35,13 +39,18 @@ struct Checkpoint {
 
 class CheckpointStore {
  public:
-  /// Binds to the durable slot `checkpoints` of process `owner`.
+  /// Binds to the durable slot `checkpoints` of the hosting runtime's
+  /// process.
+  explicit CheckpointStore(runtime::Runtime& rt, int disk_index = 0);
+
+  /// Sim convenience: binds to process `owner`'s runtime adapter (defined in
+  /// storage_sim.cpp).
   CheckpointStore(sim::Env& env, ProcessId owner, int disk_index = 0);
 
   /// Persists a checkpoint (synchronous device write — the paper writes
   /// checkpoints synchronously so that trim decisions are safe); `done`
   /// fires when durable. Only the most recent checkpoint is retained.
-  void save(Checkpoint cp, sim::Task done);
+  void save(Checkpoint cp, runtime::Task done);
 
   /// Most recent durable checkpoint, if any.
   std::optional<Checkpoint> latest() const;
@@ -54,8 +63,7 @@ class CheckpointStore {
     std::uint64_t saves = 0;
   };
 
-  sim::Env& env_;
-  ProcessId owner_;
+  runtime::Runtime& rt_;
   int disk_index_;
   Durable& d_;
 };

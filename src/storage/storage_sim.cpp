@@ -1,0 +1,17 @@
+// Sim-backend convenience constructors, kept in their own translation unit
+// so the storage headers and primary TUs stay free of sim dependencies.
+#include "sim/env.hpp"
+#include "storage/acceptor_log.hpp"
+#include "storage/checkpoint_store.hpp"
+
+namespace mrp::storage {
+
+AcceptorLog::AcceptorLog(sim::Env& env, ProcessId owner, GroupId ring,
+                         WriteMode mode, int disk_index)
+    : AcceptorLog(env.runtime_for(owner), ring, mode, disk_index) {}
+
+CheckpointStore::CheckpointStore(sim::Env& env, ProcessId owner,
+                                 int disk_index)
+    : CheckpointStore(env.runtime_for(owner), disk_index) {}
+
+}  // namespace mrp::storage

@@ -48,7 +48,7 @@ class SmOnly : public ::testing::Test {
 };
 
 TEST_F(SmOnly, AppendAssignsContiguousPositions) {
-  LogStateMachine sm(env_, 1, {0, 1}, {});
+  LogStateMachine sm(env_.runtime_for(1), 1, {0, 1}, {});
   auto run = [&](Op op) { return decode_result(sm.apply(0, encode_op(op))); };
   for (Position i = 0; i < 5; ++i) {
     Op ap{OpType::kAppend, {0}, 0, to_bytes("e" + std::to_string(i))};
@@ -61,7 +61,7 @@ TEST_F(SmOnly, AppendAssignsContiguousPositions) {
 }
 
 TEST_F(SmOnly, MultiAppendTouchesOnlyOwnedLogs) {
-  LogStateMachine sm(env_, 1, {0, 1}, {});
+  LogStateMachine sm(env_.runtime_for(1), 1, {0, 1}, {});
   Op ma{OpType::kMultiAppend, {0, 1, 9}, 0, to_bytes("x")};
   const Result r = decode_result(sm.apply(0, encode_op(ma)));
   ASSERT_EQ(r.positions.size(), 2u);  // log 9 not owned
@@ -70,7 +70,7 @@ TEST_F(SmOnly, MultiAppendTouchesOnlyOwnedLogs) {
 }
 
 TEST_F(SmOnly, ReadSemantics) {
-  LogStateMachine sm(env_, 1, {0}, {});
+  LogStateMachine sm(env_.runtime_for(1), 1, {0}, {});
   Op ap{OpType::kAppend, {0}, 0, to_bytes("hello")};
   sm.apply(0, encode_op(ap));
   auto run = [&](Op op) { return decode_result(sm.apply(0, encode_op(op))); };
@@ -81,7 +81,7 @@ TEST_F(SmOnly, ReadSemantics) {
 }
 
 TEST_F(SmOnly, TrimFlushesAndGuardsReads) {
-  LogStateMachine sm(env_, 1, {0}, {});
+  LogStateMachine sm(env_.runtime_for(1), 1, {0}, {});
   for (int i = 0; i < 10; ++i) {
     Op ap{OpType::kAppend, {0}, 0, to_bytes("e" + std::to_string(i))};
     sm.apply(0, encode_op(ap));
@@ -100,13 +100,13 @@ TEST_F(SmOnly, TrimFlushesAndGuardsReads) {
 }
 
 TEST_F(SmOnly, SnapshotRestore) {
-  LogStateMachine sm(env_, 1, {0, 1}, {});
+  LogStateMachine sm(env_.runtime_for(1), 1, {0, 1}, {});
   for (int i = 0; i < 8; ++i) {
     Op ap{OpType::kAppend, {static_cast<LogId>(i % 2)}, 0,
           to_bytes("d" + std::to_string(i))};
     sm.apply(0, encode_op(ap));
   }
-  LogStateMachine sm2(env_, 1, {0, 1}, {});
+  LogStateMachine sm2(env_.runtime_for(1), 1, {0, 1}, {});
   sm2.restore(sm.snapshot());
   EXPECT_EQ(sm.digest(), sm2.digest());
   EXPECT_EQ(sm2.next_position(0), 4u);

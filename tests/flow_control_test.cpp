@@ -175,7 +175,7 @@ class FlowControlTest : public ::testing::Test {
     for (ProcessId r : {1, 2, 3}) {
       env_.spawn<smr::ReplicaNode>(
           r, registry_.get(), node_cfg,
-          smr::StateMachineFactory([](sim::Env&, ProcessId) {
+          smr::StateMachineFactory([](runtime::Runtime&, ProcessId) {
             return std::make_unique<CountingSm>();
           }),
           ropts);

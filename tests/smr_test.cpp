@@ -47,7 +47,7 @@ class SmrTest : public ::testing::Test {
     for (ProcessId r : {1, 2, 3}) {
       env_.spawn<ReplicaNode>(
           r, registry_.get(), node_cfg,
-          StateMachineFactory([](sim::Env&, ProcessId) {
+          StateMachineFactory([](runtime::Runtime&, ProcessId) {
             return std::make_unique<CounterSm>();
           }),
           ropts);

@@ -35,7 +35,12 @@ def main() -> None:
     for name, ref in baseline["benches"].items():
         path = results / f"BENCH_{name}.json"
         if not path.exists():
-            fail(f"{path} missing (bench not run?)")
+            # Subset runs (MRP_BENCH_ONLY) only produce some of the
+            # baseline-listed figures; a missing result means "not run this
+            # time", not a regression. The checked-count guard below still
+            # rejects a run where *nothing* matched the baseline.
+            print(f"{name}: skipped (no {path.name} in results)")
+            continue
         doc = json.loads(path.read_text())
 
         def check(metric_name: str, current: float, reference: float) -> None:
