@@ -84,7 +84,10 @@ Bytes EventualNode::execute(const Bytes& op_bytes) {
       break;
     }
     case OpType::kSplit:
-      break;  // MRP-Store control op; meaningless for the baseline
+    case OpType::kMultiGet:
+    case OpType::kMultiPut:
+    case OpType::kTransfer:
+      break;  // MRP-Store control / atomic ops; meaningless for the baseline
   }
   return mrpstore::encode_result(res);
 }

@@ -53,7 +53,10 @@ void SingleNodeStore::on_message(ProcessId /*from*/, const sim::Message& m) {
       break;
     }
     case OpType::kSplit:
-      break;  // MRP-Store control op; meaningless for the baseline
+    case OpType::kMultiGet:
+    case OpType::kMultiPut:
+    case OpType::kTransfer:
+      break;  // MRP-Store control / atomic ops; meaningless for the baseline
   }
   auto reply = std::make_shared<smr::MsgClientReply>();
   reply->session = req.command.session;

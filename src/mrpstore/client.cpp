@@ -53,6 +53,65 @@ smr::Request StoreClient::remove(const std::string& key) const {
   return single_key(std::move(op));
 }
 
+smr::Request StoreClient::multi_partition(
+    Op op, const std::vector<std::string>& keys) const {
+  MRP_CHECK_MSG(!keys.empty(), "multi-key operation with no keys");
+  // Stamp the routing version: a replica on a newer ordered schema rejects
+  // the whole command (kStaleRouting) instead of applying half of it.
+  op.schema_version = deployment_.schema_version;
+
+  std::vector<int> parts;
+  parts.reserve(keys.size());
+  for (const std::string& k : keys) {
+    parts.push_back(deployment_.partitioner->partition_for_key(k));
+  }
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+
+  smr::Request req;
+  req.op = encode_op(op);
+  for (int p : parts) {
+    req.sends.push_back(smr::Request::Send{
+        deployment_.partition_groups[static_cast<std::size_t>(p)],
+        deployment_.replicas[static_cast<std::size_t>(p)]});
+  }
+  req.expected_partitions = parts.size();
+  // More than one owning partition: atomic multi-group multicast — each
+  // command copy carries the full addressed group set, replicas commit at
+  // the merged position of their last subscribed addressed delivery.
+  req.atomic = parts.size() > 1;
+  return req;
+}
+
+smr::Request StoreClient::multi_get(const std::vector<std::string>& keys) const {
+  Op op;
+  op.type = OpType::kMultiGet;
+  op.keys = keys;
+  return multi_partition(std::move(op), keys);
+}
+
+smr::Request StoreClient::multi_put(
+    std::vector<std::pair<std::string, Bytes>> entries) const {
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  for (const auto& [k, v] : entries) keys.push_back(k);
+  Op op;
+  op.type = OpType::kMultiPut;
+  op.entries = std::move(entries);
+  return multi_partition(std::move(op), keys);
+}
+
+smr::Request StoreClient::transfer(const std::string& from,
+                                   const std::string& to,
+                                   std::int64_t amount) const {
+  Op op;
+  op.type = OpType::kTransfer;
+  op.key = from;
+  op.key_hi = to;
+  op.amount = amount;
+  return multi_partition(std::move(op), {from, to});
+}
+
 smr::Request StoreClient::scan(const std::string& lo, const std::string& hi,
                                std::uint32_t limit_per_partition) const {
   Op op;
@@ -121,6 +180,19 @@ smr::ClientNode::RerouteFn StoreClient::reroute_fn(
         return scan(op.key, op.key_hi, op.limit);
       case OpType::kSplit:
         return std::nullopt;
+      case OpType::kMultiGet:
+        // Read-only: safe to re-route and re-issue wholesale.
+        return multi_get(op.keys);
+      case OpType::kMultiPut:
+      case OpType::kTransfer:
+        // NOT auto-rerouted: a kStaleRouting from one partition does not
+        // mean every partition rejected (replicas still on the client's
+        // version applied their half before the split reached them), and a
+        // re-issue carries a fresh seq, so blindly retrying could apply the
+        // other half twice. The stale status is reported to the caller,
+        // who decides (cross-partition writes racing an online split are
+        // an admin-window concern, not a steady-state one).
+        return std::nullopt;
       default:
         return single_key(std::move(op));
     }
@@ -132,6 +204,24 @@ smr::ClientNode::Options StoreClient::client_options(
     TimeNs retry_timeout) {
   return smr::ClientNode::Options::flow(workers, max_outstanding,
                                         retry_timeout);
+}
+
+Result StoreClient::merge_multi(const std::map<int, Bytes>& replies) {
+  Result merged;
+  for (const auto& [tag, bytes] : replies) {
+    (void)tag;
+    Result part = decode_result(bytes);
+    if (static_cast<std::uint8_t>(part.status) >
+        static_cast<std::uint8_t>(merged.status)) {
+      merged.status = part.status;
+    }
+    merged.entries.insert(merged.entries.end(),
+                          std::make_move_iterator(part.entries.begin()),
+                          std::make_move_iterator(part.entries.end()));
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return merged;
 }
 
 Result StoreClient::merge_scan(const std::map<int, Bytes>& replies,

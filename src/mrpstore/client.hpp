@@ -31,9 +31,29 @@ class StoreClient {
   smr::Request scan(const std::string& lo, const std::string& hi,
                     std::uint32_t limit_per_partition = 0) const;
 
+  // Cross-partition atomic operations: one command multicast to every
+  // owning partition's ring (multi-group multicast). Each partition
+  // executes its sub-operations at the command's merged delivery position
+  // and answers with its part; the request completes when every addressed
+  // partition has replied (merge the parts with merge_multi). When all keys
+  // live in one partition the request degrades to an ordinary single-group
+  // command.
+  smr::Request multi_get(const std::vector<std::string>& keys) const;
+  smr::Request multi_put(
+      std::vector<std::pair<std::string, Bytes>> entries) const;
+  /// Atomic balance transfer: debit `from`, credit `to` by `amount`
+  /// (decimal-string balances; missing accounts start at 0). Conservation
+  /// of the total balance holds at every replica, faults included.
+  smr::Request transfer(const std::string& from, const std::string& to,
+                        std::int64_t amount) const;
+
   /// Merges per-partition scan replies into one sorted entry list.
   static Result merge_scan(const std::map<int, Bytes>& replies,
                            std::uint32_t limit = 0);
+
+  /// Merges per-partition multi-op replies: entries concatenated and
+  /// sorted by key, worst status wins (any kStaleRouting poisons the lot).
+  static Result merge_multi(const std::map<int, Bytes>& replies);
 
   /// Re-reads the versioned schema from the registry and adopts it if newer.
   void refresh(const coord::Registry& registry);
@@ -56,6 +76,10 @@ class StoreClient {
 
  private:
   smr::Request single_key(Op op) const;
+  /// Routes `op` to every partition owning one of `keys` (sorted unique
+  /// fan-out; atomic multi-group multicast when more than one).
+  smr::Request multi_partition(Op op,
+                               const std::vector<std::string>& keys) const;
 
   StoreDeployment deployment_;
 };

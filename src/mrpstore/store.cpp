@@ -29,6 +29,24 @@ Bytes encode_op(const Op& op) {
       w.str(op.schema);
       w.u32(static_cast<std::uint32_t>(op.split_group));
       break;
+    case OpType::kMultiGet:
+      w.u64(op.schema_version);
+      w.varint(op.keys.size());
+      for (const std::string& k : op.keys) w.str(k);
+      break;
+    case OpType::kMultiPut:
+      w.u64(op.schema_version);
+      w.varint(op.entries.size());
+      for (const auto& [k, v] : op.entries) {
+        w.str(k);
+        w.bytes(v);
+      }
+      break;
+    case OpType::kTransfer:
+      w.u64(op.schema_version);
+      w.str(op.key_hi);  // to (op.key = from, written above)
+      w.i64(op.amount);
+      break;
   }
   return w.take();
 }
@@ -54,6 +72,27 @@ Op decode_op(const Bytes& data) {
     case OpType::kSplit:
       op.schema = r.str();
       op.split_group = static_cast<GroupId>(r.u32());
+      break;
+    case OpType::kMultiGet: {
+      op.schema_version = r.u64();
+      const std::uint64_t n = r.varint();
+      for (std::uint64_t i = 0; i < n; ++i) op.keys.push_back(r.str());
+      break;
+    }
+    case OpType::kMultiPut: {
+      op.schema_version = r.u64();
+      const std::uint64_t n = r.varint();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string k = r.str();
+        Bytes v = r.bytes();
+        op.entries.emplace_back(std::move(k), std::move(v));
+      }
+      break;
+    }
+    case OpType::kTransfer:
+      op.schema_version = r.u64();
+      op.key_hi = r.str();
+      op.amount = r.i64();
       break;
   }
   r.expect_done();
@@ -176,6 +215,84 @@ Bytes KvStateMachine::apply(GroupId group, const Bytes& encoded) {
       const auto target = static_cast<GroupId>(r.u32());
       r.expect_done();
       return apply_split(group, enc, target);
+    }
+    // Cross-partition atomic operations: the same command is delivered (via
+    // multi-group multicast) on every owning partition's ring; this replica
+    // applies exactly the sub-operations on keys its delivery group owns
+    // under the ordered schema. A replica whose schema is newer than the
+    // client's routing version rejects the whole command — deterministic,
+    // because the version only changes through ordered kSplit commands —
+    // so a stale client can never commit half a transaction.
+    case OpType::kMultiGet: {
+      const std::uint64_t client_version = r.u64();
+      const std::uint64_t n = r.varint();
+      std::vector<std::string_view> keys;
+      keys.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) keys.push_back(r.str_view());
+      if (client_version > 0 && schema_.version > client_version) {
+        res.status = Status::kStaleRouting;
+        break;
+      }
+      for (const std::string_view k : keys) {
+        if (schema_.version > 0 && schema_.group_for_key(k) != group) continue;
+        auto it = data_.find(k);
+        if (it != data_.end()) res.entries.emplace_back(std::string(k), it->second);
+      }
+      break;
+    }
+    case OpType::kMultiPut: {
+      const std::uint64_t client_version = r.u64();
+      const std::uint64_t n = r.varint();
+      std::vector<std::pair<std::string_view, std::span<const std::uint8_t>>>
+          entries;
+      entries.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string_view k = r.str_view();
+        entries.emplace_back(k, r.bytes_view());
+      }
+      if (client_version > 0 && schema_.version > client_version) {
+        res.status = Status::kStaleRouting;
+        break;
+      }
+      std::uint64_t applied = 0;
+      for (const auto& [k, v] : entries) {
+        if (schema_.version > 0 && schema_.group_for_key(k) != group) continue;
+        data_[std::string(k)] = Bytes(v.begin(), v.end());
+        ++applied;
+      }
+      res.value = to_bytes(std::to_string(applied));
+      break;
+    }
+    case OpType::kTransfer: {
+      const std::uint64_t client_version = r.u64();
+      const std::string_view to = r.str_view();  // `key` above = from
+      const std::int64_t amount = r.i64();
+      if (client_version > 0 && schema_.version > client_version) {
+        res.status = Status::kStaleRouting;
+        break;
+      }
+      // Unconditional debit/credit on decimal-string balances (missing
+      // accounts start at 0): each half is deterministic on its own, so the
+      // two partitions never need to agree on anything beyond delivery.
+      const auto adjust = [&](std::string_view k, std::int64_t delta) {
+        if (schema_.version > 0 && schema_.group_for_key(k) != group) return;
+        auto it = data_.find(k);
+        std::int64_t balance =
+            it == data_.end() || it->second.empty()
+                ? 0
+                : std::stoll(mrp::to_string(it->second));
+        balance += delta;
+        Bytes encoded_balance = to_bytes(std::to_string(balance));
+        if (it == data_.end()) {
+          data_.emplace(std::string(k), encoded_balance);
+        } else {
+          it->second = encoded_balance;
+        }
+        res.entries.emplace_back(std::string(k), std::move(encoded_balance));
+      };
+      adjust(key, -amount);
+      adjust(to, amount);
+      break;
     }
   }
   r.expect_done();

@@ -20,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "codec/codec.hpp"
@@ -43,6 +44,20 @@ enum class OpType : std::uint8_t {
   /// Ordered control operation: adopt the successor partition schema and
   /// extract the keys that move to the new partition (state transfer).
   kSplit = 6,
+  // Cross-partition atomic operations: one command multicast to every
+  // owning partition's ring (smr multi-group addressing); each replica
+  // applies the sub-operations on keys its delivery group owns, and the
+  // client assembles atomicity by awaiting one reply per addressed
+  // partition. All three stamp the client's routing version so replicas on
+  // a newer ordered schema reject deterministically (kStaleRouting).
+  kMultiGet = 7,
+  kMultiPut = 8,
+  /// Balance transfer between two (decimal-string) counters: debit
+  /// `key` (from), credit `key_hi` (to) by `amount`. Unconditional
+  /// (overdraft allowed, missing accounts start at 0), so the two halves
+  /// are independently deterministic and conservation of the total balance
+  /// is the atomicity invariant.
+  kTransfer = 9,
 };
 
 enum class Status : std::uint8_t {
@@ -56,16 +71,20 @@ enum class Status : std::uint8_t {
 
 struct Op {
   OpType type = OpType::kRead;
-  std::string key;        // read/update/insert/delete; scan: lo
-  std::string key_hi;     // scan: exclusive upper bound ("" = open)
+  std::string key;        // read/update/insert/delete; scan: lo; transfer: from
+  std::string key_hi;     // scan: exclusive upper bound ("" = open); transfer: to
   Bytes value;            // update/insert
   std::uint32_t limit = 0;  // scan: max entries per partition (0 = all)
-  /// Scan: the schema version the client routed with (0 = unversioned).
-  /// A replica whose ordered schema is newer answers kStaleRouting, so a
-  /// stale client cannot silently miss a split-off key range.
+  /// Scan / multi-key ops: the schema version the client routed with
+  /// (0 = unversioned). A replica whose ordered schema is newer answers
+  /// kStaleRouting, so a stale client cannot silently miss a split-off key
+  /// range (or apply half of a cross-partition write under stale routing).
   std::uint64_t schema_version = 0;
   std::string schema;       // split: successor PartitionSchema, encoded
   GroupId split_group = -1;  // split: the group gaining the moved keys
+  std::vector<std::string> keys;                       // multi-get
+  std::vector<std::pair<std::string, Bytes>> entries;  // multi-put
+  std::int64_t amount = 0;                             // transfer
 };
 
 Bytes encode_op(const Op& op);

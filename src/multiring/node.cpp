@@ -130,6 +130,14 @@ ValueId MultiRingNode::multicast(GroupId group, Payload payload) {
   return h->propose(std::move(payload));
 }
 
+std::vector<ValueId> MultiRingNode::multicast_all(
+    const std::vector<GroupId>& groups, const Payload& payload) {
+  std::vector<ValueId> ids;
+  ids.reserve(groups.size());
+  for (GroupId g : groups) ids.push_back(multicast(g, payload));
+  return ids;
+}
+
 ringpaxos::RingHandler* MultiRingNode::handler(GroupId group) {
   auto it = handlers_.find(group);
   return it == handlers_.end() ? nullptr : it->second.get();

@@ -92,6 +92,16 @@ class MultiRingNode : public runtime::Node {
   /// Atomic multicast: propose `payload` to `group` (must be a joined ring).
   ValueId multicast(GroupId group, Payload payload);
 
+  /// Multi-group atomic multicast: propose the same payload on every ring
+  /// in `groups` (each must be a joined ring). Returns one value id per
+  /// group, in `groups` order — the copies are independent ring values, so
+  /// the *application* payload must carry the identity that ties them back
+  /// together (smr stamps (session, seq) plus the addressed group set into
+  /// the command). A learner subscribed to several of the groups delivers
+  /// one copy per subscribed group and commits at the last of them.
+  std::vector<ValueId> multicast_all(const std::vector<GroupId>& groups,
+                                     const Payload& payload);
+
   /// Joins `sub.group` at runtime (ring-handler attach). For learner
   /// subscriptions the group's decision stream enters the merge rotation at
   /// the next merge-round boundary, expecting `start_instance` first — pass

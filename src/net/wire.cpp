@@ -71,6 +71,10 @@ void put_command(Writer& w, const smr::Command& c) {
   w.u64(c.session);
   w.u64(c.seq);
   w.bytes(c.op);
+  // Multi-group frame addressing: the full addressed group set rides the
+  // frame so every copy of an atomic multi-group command is self-describing.
+  w.varint(c.groups.size());
+  for (GroupId g : c.groups) put_id(w, g);
 }
 
 smr::Command get_command(Reader& r) {
@@ -78,6 +82,9 @@ smr::Command get_command(Reader& r) {
   c.session = r.u64();
   c.seq = r.u64();
   c.op = r.bytes();
+  const std::uint64_t n = r.varint();
+  c.groups.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) c.groups.push_back(get_id(r));
   return c;
 }
 

@@ -16,6 +16,15 @@ Request Request::single(GroupId group, std::vector<ProcessId> targets,
   return r;
 }
 
+std::vector<GroupId> Request::group_set() const {
+  std::vector<GroupId> groups;
+  groups.reserve(sends.size());
+  for (const Send& s : sends) groups.push_back(s.group);
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
 ClientNode::ClientNode(runtime::Runtime& rt, Options options,
                        NextFn next, DoneFn done)
     : runtime::Node(rt),
@@ -104,6 +113,11 @@ void ClientNode::send_command(std::uint32_t worker, std::size_t send_index) {
   msg->command.session = make_session(id(), worker);
   msg->command.seq = o.seq;
   msg->command.op = o.request.op;
+  if (o.request.atomic && o.request.sends.size() > 1) {
+    // Atomic multi-group multicast: every copy carries the full addressed
+    // set so replicas can gather by (session, seq) and commit once.
+    msg->command.groups = o.request.group_set();
+  }
   send(target, msg);
 }
 

@@ -46,10 +46,19 @@ struct Request {
   std::vector<Send> sends;           // one command per entry, same op bytes
   Bytes op;
   std::size_t expected_partitions = 1;  // distinct partition_tags to await
+  /// Atomic multi-group multicast: every send's command carries the full
+  /// (sorted) set of the request's groups, so replicas gather the copies by
+  /// (session, seq) and execute the command exactly once, at the merged
+  /// position of the last subscribed addressed group to deliver. false =
+  /// the sends are independent single-group commands (scan fan-out).
+  bool atomic = false;
 
   /// Convenience: single-group request.
   static Request single(GroupId group, std::vector<ProcessId> targets,
                         Bytes op);
+
+  /// The sorted, deduplicated set of groups this request addresses.
+  std::vector<GroupId> group_set() const;
 };
 
 struct Completion {

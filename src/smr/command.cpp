@@ -9,6 +9,8 @@ Bytes encode_batch(const Batch& b) {
     w.u64(c.session);
     w.u64(c.seq);
     w.bytes(c.op);
+    w.varint(c.groups.size());
+    for (GroupId g : c.groups) w.u32(static_cast<std::uint32_t>(g));
   }
   return w.take();
 }
@@ -23,6 +25,11 @@ Batch decode_batch(const Bytes& data) {
     c.session = r.u64();
     c.seq = r.u64();
     c.op = r.bytes();
+    const std::uint64_t g = r.varint();
+    c.groups.reserve(g);
+    for (std::uint64_t j = 0; j < g; ++j) {
+      c.groups.push_back(static_cast<GroupId>(r.u32()));
+    }
     b.commands.push_back(std::move(c));
   }
   r.expect_done();

@@ -39,8 +39,19 @@ struct Command {
   SessionId session = 0;
   std::uint64_t seq = 0;
   Bytes op;  // service-defined operation payload
+  /// Atomic multi-group addressing: the full sorted set of groups this
+  /// command is multicast to. Empty (or a single entry) = ordinary
+  /// single-group command. The client proposes one copy of the command —
+  /// same (session, seq), same op — on every addressed ring; a replica
+  /// gathers the copies and executes the command once, at the merged
+  /// position of the last of its subscribed addressed groups to deliver.
+  std::vector<GroupId> groups;
 
-  std::size_t wire_size() const { return 20 + op.size(); }
+  bool multi_group() const { return groups.size() > 1; }
+
+  std::size_t wire_size() const {
+    return 21 + 4 * groups.size() + op.size();
+  }
 };
 
 /// One multicast value = one batch of commands for the same group.

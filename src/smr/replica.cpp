@@ -47,25 +47,17 @@ void ReplicaNode::on_trimmed_gap(GroupId /*group*/, InstanceId /*trimmed_to*/) {
 
 void ReplicaNode::enqueue_request(GroupId group, const Command& c) {
   Session& s = sessions_[c.session];
-  if (c.seq <= s.last_seq) {
+  if (s.executed(c.seq)) {
     // Already executed: answer directly without re-ordering the command.
-    if (c.seq == s.last_seq) {
-      auto reply = std::make_shared<MsgClientReply>();
-      reply->session = c.session;
-      reply->seq = c.seq;
-      reply->partition_tag = options_.partition_tag;
-      reply->result = s.last_reply;
-      send(session_client(c.session), reply);
-    }
+    send_cached_reply(s, c.session, c.seq);
     return;
   }
-  if (c.seq <= s.proposed_seq &&
-      now() - s.proposed_at < options_.proposal_guard) {
-    return;  // duplicate of a recent in-flight proposal
+  auto& pg = s.proposed[group];
+  if (c.seq <= pg.first && now() - pg.second < options_.proposal_guard) {
+    return;  // duplicate of a recent in-flight proposal on this ring
   }
   if (!admit(group, c)) return;  // admission window full: client pushed back
-  s.proposed_seq = c.seq;
-  s.proposed_at = now();
+  pg = {c.seq, now()};
   if (options_.batch_delay == 0) {
     Batch b;
     b.commands.push_back(c);
@@ -156,28 +148,75 @@ ReplicaNode::AdmissionStats ReplicaNode::admission_stats(GroupId group) const {
 void ReplicaNode::deliver(GroupId group, InstanceId /*instance*/,
                           const Payload& payload) {
   const Batch batch = decode_batch(payload.bytes());
-  for (const Command& c : batch.commands) execute(group, c);
+  for (const Command& c : batch.commands) deliver_command(group, c);
+}
+
+void ReplicaNode::deliver_command(GroupId group, const Command& c) {
+  if (!c.multi_group()) {
+    execute(group, c);
+    return;
+  }
+  // Multi-group command: one copy per addressed ring, all carrying the same
+  // (session, seq) identity. Commit rule: execute exactly once, at the
+  // merged position of the *last* subscribed addressed group to deliver its
+  // copy. Replicas holding only a partial subscription commit at the last
+  // group of (addressed ∩ subscribed) — deterministic, since the merged
+  // interleaving is identical at every replica with the same group set.
+  Session& s = sessions_[c.session];
+  if (s.executed(c.seq)) {
+    // A copy of an already-committed command (e.g. a re-proposed batch
+    // after a coordinator change): answer from the cache, don't re-gather.
+    send_cached_reply(s, c.session, c.seq);
+    return;
+  }
+  const auto key = std::make_pair(c.session, c.seq);
+  PendingMulti& pm = multi_pending_[key];
+  if (pm.seen.empty()) pm.command = c;
+  pm.seen.insert(group);
+  if (!multi_gather_complete(pm)) return;
+  const Command cmd = std::move(pm.command);
+  multi_pending_.erase(key);
+  execute(group, cmd);
+}
+
+bool ReplicaNode::multi_gather_complete(const PendingMulti& pm) const {
+  const std::vector<GroupId>& subs = subscribed_groups();  // sorted
+  for (GroupId g : pm.command.groups) {
+    if (!std::binary_search(subs.begin(), subs.end(), g)) continue;
+    if (pm.seen.count(g) == 0) return false;
+  }
+  return true;
+}
+
+void ReplicaNode::send_cached_reply(const Session& s, SessionId session,
+                                    std::uint64_t seq) {
+  // Only the session's most recent reply is cached (a retried command is
+  // almost always the one still outstanding at the client; anything older
+  // means the client has moved on).
+  if (seq != s.last_seq) return;
+  auto reply = std::make_shared<MsgClientReply>();
+  reply->session = session;
+  reply->seq = seq;
+  reply->partition_tag = options_.partition_tag;
+  reply->result = s.last_reply;
+  send(session_client(session), reply);
 }
 
 void ReplicaNode::execute(GroupId group, const Command& c) {
   Session& s = sessions_[c.session];
-  if (c.seq <= s.last_seq) {
-    if (c.seq == s.last_seq) {
-      // Duplicate of the session's most recent command: resend the cached
-      // reply (the original answer may have been lost in a crash).
-      auto reply = std::make_shared<MsgClientReply>();
-      reply->session = c.session;
-      reply->seq = c.seq;
-      reply->partition_tag = options_.partition_tag;
-      reply->result = s.last_reply;
-      send(session_client(c.session), reply);
-    }
-    return;  // older duplicate: the client has moved on
+  if (s.executed(c.seq)) {
+    // Duplicate: resend the cached reply (the original answer may have
+    // been lost in a crash).
+    send_cached_reply(s, c.session, c.seq);
+    return;
   }
   Bytes result = apply_command(group, c);
   ++executed_;
-  s.last_seq = c.seq;
-  s.last_reply = result;
+  s.mark_executed(c.seq);
+  if (c.seq >= s.last_seq) {
+    s.last_seq = c.seq;
+    s.last_reply = result;
+  }
 
   auto reply = std::make_shared<MsgClientReply>();
   reply->session = c.session;
@@ -196,8 +235,24 @@ Bytes ReplicaNode::snapshot_state() const {
   w.varint(sessions_.size());
   for (const auto& [id, s] : sessions_) {
     w.u64(id);
+    w.u64(s.exec_floor);
+    w.varint(s.exec_above.size());
+    for (std::uint64_t seq : s.exec_above) w.u64(seq);
     w.u64(s.last_seq);
     w.bytes(s.last_reply);
+  }
+  // In-flight multi-group gathers are replicated state: a checkpoint can
+  // land between two copies of the same command, and instances below the
+  // installed tuple are never replayed.
+  w.varint(multi_pending_.size());
+  for (const auto& [key, pm] : multi_pending_) {
+    w.u64(key.first);
+    w.u64(key.second);
+    w.bytes(pm.command.op);
+    w.varint(pm.command.groups.size());
+    for (GroupId g : pm.command.groups) w.u32(static_cast<std::uint32_t>(g));
+    w.varint(pm.seen.size());
+    for (GroupId g : pm.seen) w.u32(static_cast<std::uint32_t>(g));
   }
   w.bytes(sm_->snapshot());
   return w.take();
@@ -210,9 +265,31 @@ void ReplicaNode::restore_state(const Bytes& data) {
   for (std::uint64_t i = 0; i < n; ++i) {
     const SessionId id = r.u64();
     Session s;
+    s.exec_floor = r.u64();
+    const std::uint64_t above = r.varint();
+    for (std::uint64_t j = 0; j < above; ++j) s.exec_above.insert(r.u64());
     s.last_seq = r.u64();
     s.last_reply = r.bytes();
     sessions_[id] = std::move(s);
+  }
+  multi_pending_.clear();
+  const std::uint64_t pn = r.varint();
+  for (std::uint64_t i = 0; i < pn; ++i) {
+    const SessionId session = r.u64();
+    const std::uint64_t seq = r.u64();
+    PendingMulti pm;
+    pm.command.session = session;
+    pm.command.seq = seq;
+    pm.command.op = r.bytes();
+    const std::uint64_t gn = r.varint();
+    for (std::uint64_t j = 0; j < gn; ++j) {
+      pm.command.groups.push_back(static_cast<GroupId>(r.u32()));
+    }
+    const std::uint64_t sn = r.varint();
+    for (std::uint64_t j = 0; j < sn; ++j) {
+      pm.seen.insert(static_cast<GroupId>(r.u32()));
+    }
+    multi_pending_[{session, seq}] = std::move(pm);
   }
   sm_->restore(r.bytes());
   r.expect_done();

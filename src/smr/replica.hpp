@@ -6,7 +6,13 @@
 //     group (up to batch_bytes, the paper's 32 KB) and multicast,
 //   * learner — merged deliveries are decoded, deduplicated per session,
 //     executed against the service StateMachine, and answered to the client
-//     with a datagram-style MsgClientReply (first reply wins at the client),
+//     with a datagram-style MsgClientReply (first reply wins at the client).
+//     A *multi-group* command (one copy per addressed ring, same
+//     (session, seq) identity) is gathered and executed exactly once, at
+//     the merged position of the last subscribed addressed group to
+//     deliver its copy — identical at every replica with the same group
+//     set; partial subscribers commit at the last group of
+//     (addressed ∩ subscribed),
 //   * recovery participant — a Checkpointer snapshots state at merge-round
 //     boundaries and a TrimProtocol instance drives acceptor-log trimming
 //     for every group this node coordinates.
@@ -15,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
@@ -96,14 +103,42 @@ class ReplicaNode : public multiring::MultiRingNode {
 
  private:
   struct Session {
-    std::uint64_t last_seq = 0;
+    // Exact execution record. Multi-group commands commit only when every
+    // subscribed addressed group has delivered its copy, so a replica
+    // subscribed to several addressed groups can execute a session's
+    // commands out of seq order (a later single-group command overtakes a
+    // still-gathering multi-group one). A plain high-watermark would then
+    // silently drop the overtaken command, so dedup is a floor (every seq
+    // <= floor executed) plus the sparse set of executed seqs above it —
+    // the set stays tiny because each session has one request in flight.
+    std::uint64_t exec_floor = 0;
+    std::set<std::uint64_t> exec_above;
+    std::uint64_t last_seq = 0;  // highest executed (reply-cache key)
     Bytes last_reply;
-    // Proposer-side duplicate suppression: the highest seq this replica has
-    // already multicast for the session, and when. A retried command is
-    // re-proposed only after proposal_guard has elapsed (covers the case
-    // where the original proposal died with a coordinator).
-    std::uint64_t proposed_seq = 0;
-    TimeNs proposed_at = 0;
+    // Proposer-side duplicate suppression, per group: the highest seq this
+    // replica has already multicast for the session on that ring, and when.
+    // A retried command is re-proposed only after proposal_guard has
+    // elapsed (covers the case where the original proposal died with a
+    // coordinator). Per-group because one replica may legitimately act as
+    // proposer for several rings of the same multi-group command.
+    std::map<GroupId, std::pair<std::uint64_t, TimeNs>> proposed;
+
+    bool executed(std::uint64_t seq) const {
+      return seq <= exec_floor || exec_above.count(seq) > 0;
+    }
+    void mark_executed(std::uint64_t seq) {
+      if (seq <= exec_floor) return;
+      exec_above.insert(seq);
+      while (exec_above.count(exec_floor + 1) > 0) {
+        exec_above.erase(++exec_floor);
+      }
+    }
+  };
+  /// A multi-group command waiting for the copies from the rest of its
+  /// subscribed addressed groups; keyed by command identity (session, seq).
+  struct PendingMulti {
+    Command command;
+    std::set<GroupId> seen;  // subscribed addressed groups delivered so far
   };
   struct PendingBatch {
     Batch batch;
@@ -119,7 +154,11 @@ class ReplicaNode : public multiring::MultiRingNode {
   };
 
   void deliver(GroupId group, InstanceId instance, const Payload& payload);
+  void deliver_command(GroupId group, const Command& c);
+  bool multi_gather_complete(const PendingMulti& pm) const;
   void execute(GroupId group, const Command& c);
+  void send_cached_reply(const Session& s, SessionId session,
+                         std::uint64_t seq);
   void enqueue_request(GroupId group, const Command& c);
   bool admit(GroupId group, const Command& c);
   void flush_batch(GroupId group);
@@ -133,6 +172,12 @@ class ReplicaNode : public multiring::MultiRingNode {
   std::unique_ptr<recovery::Checkpointer> checkpointer_;
   std::unique_ptr<recovery::TrimProtocol> trim_;
   std::unordered_map<SessionId, Session> sessions_;
+  /// Multi-group commands delivered on some but not yet all of their
+  /// subscribed addressed groups. Part of the replicated state: a
+  /// checkpoint at a round boundary can fall between two copies of the
+  /// same command, and deliveries below the installed tuple are never
+  /// replayed, so the gather survives in snapshots.
+  std::map<std::pair<SessionId, std::uint64_t>, PendingMulti> multi_pending_;
   std::map<GroupId, PendingBatch> pending_;
   std::map<GroupId, GroupFlow> flow_;
   /// Per multicast value: the command bytes/count whose credits it holds,

@@ -782,6 +782,145 @@ TEST(FaultScenarios, OverloadWithSlowRingShedsBoundedAndReplays) {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 10: cross-partition atomic transfers under crash+recover plus
+// network chaos (drop + duplicate + reordering delay). Transfers are
+// multi-group commands — one copy per owning partition's ring, gathered and
+// executed exactly once per replica at its merged commit position — so the
+// safety property is monetary: no transfer half lost, none applied twice.
+// Accounts open at 0 and transfers overdraft freely, so every replica pair
+// must agree that the total balance across both partitions is exactly 0 once
+// the run drains; a lost debit or duplicated credit shifts the sum by the
+// transfer amount and is caught. The crashed replica recovers mid-stream
+// (its checkpoint may hold a half-gathered multi-group command), and the
+// whole run must replay bit-identically from its seed.
+
+struct TransferScenarioResult {
+  fault::ScenarioReport report;
+  std::uint64_t completions = 0;
+};
+
+TransferScenarioResult scenario_crosspartition_transfers(std::uint64_t seed) {
+  // Accounts a0..a7 live below the "m" split (partition 0), z0..z7 above it
+  // (partition 1).
+  constexpr int kAccounts = 8;
+  const auto acct_a = [](int i) { return "a" + std::to_string(i); };
+  const auto acct_z = [](int i) { return "z" + std::to_string(i); };
+
+  sim::Env env(seed);
+  coord::Registry registry(env, 50 * kMillisecond);
+  mrpstore::StoreOptions so = chaos_store_options();
+  so.partitions = 2;
+  so.partitioner = mrpstore::RangePartitioner({"m"}).encode();
+  auto dep = mrpstore::build_store(env, registry, so);
+  mrpstore::StoreClient helper(dep);
+
+  // Deterministic closed-loop mix: half the transfers cross the partition
+  // boundary in either direction (atomic multi-group commands), the rest
+  // stay inside one partition (ordinary single-group commands) — the blend
+  // that interleaves gathering commands with overtaking single-group ones.
+  auto acked = std::make_shared<std::uint64_t>(0);
+  smr::ClientNode::Options copts;
+  copts.workers = 4;
+  copts.retry_timeout = kSecond;
+  auto* client = env.spawn<smr::ClientNode>(
+      990, copts,
+      smr::ClientNode::NextFn([&helper, acct_a, acct_z, n = 0](std::uint32_t)
+                                  mutable -> std::optional<smr::Request> {
+        const int k = n++;
+        const std::string a = acct_a(k % kAccounts);
+        const std::string z = acct_z((k / kAccounts) % kAccounts);
+        switch (k % 4) {
+          case 0:
+            return helper.transfer(a, z, 3);  // cross-partition, a -> z
+          case 1:
+            return helper.transfer(z, a, 2);  // cross-partition, z -> a
+          case 2:
+            return helper.transfer(a, acct_a((k + 1) % kAccounts), 1);
+          default:
+            return helper.transfer(z, acct_z((k + 1) % kAccounts), 1);
+        }
+      }),
+      smr::ClientNode::DoneFn([acked](const smr::Completion& c) {
+        if (mrpstore::StoreClient::merge_multi(c.results).status ==
+            mrpstore::Status::kOk) {
+          ++*acked;
+        }
+      }));
+
+  fault::FaultPlan plan;
+  plan.chaos_window(2 * kSecond, 8 * kSecond,
+                    sim::NetFault{0.03, 0.03, 500 * kMicrosecond});
+  plan.crash_restart(3 * kSecond, dep.replicas[0][1], 3 * kSecond);
+
+  fault::ScenarioRunner runner(env, std::move(plan));
+  fault::watch_store(runner, env, dep);
+  runner.watch_progress("client", [client] { return client->completed(); });
+
+  // Conservation across partitions: every (partition-0 replica,
+  // partition-1 replica) pair must account for exactly the initial capital
+  // of 0. Checked after the drain — mid-run the two halves of a transfer
+  // commit at different times, so the sum is only meaningful at rest.
+  runner.add_invariant(
+      "balance-conserved",
+      [&env, &dep, acct_a, acct_z, kAccounts]() -> std::optional<std::string> {
+        const auto balance = [&](ProcessId r, const std::string& key) {
+          const auto v = dep.replica_get(env, r, key);
+          return v ? std::stoll(mrp::to_string(*v)) : 0LL;
+        };
+        const auto partition_sum = [&](std::size_t p, ProcessId r) {
+          long long sum = 0;
+          for (int i = 0; i < kAccounts; ++i) {
+            sum += balance(r, p == 0 ? acct_a(i) : acct_z(i));
+          }
+          return sum;
+        };
+        std::vector<std::vector<long long>> sums(2);
+        for (std::size_t p = 0; p < 2; ++p) {
+          for (ProcessId r : dep.replicas[p]) {
+            if (env.is_alive(r)) sums[p].push_back(partition_sum(p, r));
+          }
+          if (sums[p].empty()) return "no alive replica in partition";
+        }
+        for (long long s0 : sums[0]) {
+          for (long long s1 : sums[1]) {
+            if (s0 + s1 != 0) {
+              return "total balance " + std::to_string(s0 + s1) +
+                     " != 0 (partition sums " + std::to_string(s0) + " / " +
+                     std::to_string(s1) + "): a transfer half was lost or " +
+                     "applied twice";
+            }
+          }
+        }
+        return std::nullopt;
+      });
+  runner.add_invariant("cross-partition-acked",
+                       [acked]() -> std::optional<std::string> {
+                         if (*acked == 0) return "no transfer was ever acked";
+                         return std::nullopt;
+                       });
+  runner.set_quiesce([client] { client->stop(); });
+
+  TransferScenarioResult out;
+  out.report = runner.run(14 * kSecond, 6 * kSecond);
+  out.completions = *acked;
+  return out;
+}
+
+TEST(FaultScenarios, CrossPartitionTransfersUnderCrashAndChaos) {
+  auto r1 = scenario_crosspartition_transfers(7011);
+  auto r2 = scenario_crosspartition_transfers(7011);
+  EXPECT_TRUE(r1.report.ok()) << r1.report.violations_text();
+  EXPECT_EQ(r1.report.trace, r2.report.trace)
+      << "chaos schedule not reproducible";
+  EXPECT_EQ(r1.report.state_digest, r2.report.state_digest)
+      << "same-seed transfer run diverged";
+  // The crash and the restart both fired, inside the chaos window.
+  EXPECT_EQ(r1.report.trace.size(), 4u);
+  EXPECT_GT(r1.completions, 100u);
+  EXPECT_EQ(r1.completions, r2.completions);
+}
+
+// ---------------------------------------------------------------------------
 // Unit coverage of the injection primitives themselves.
 
 TEST(FaultPlan, DescribeAndOrdering) {

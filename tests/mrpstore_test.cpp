@@ -409,7 +409,8 @@ class StoreE2eTest : public ::testing::Test {
   /// Each call spawns a fresh client process (`pid`).
   std::vector<Result> run_script(std::vector<smr::Request> script,
                                  ProcessId pid = kClient,
-                                 StoreClient* reroute_via = nullptr) {
+                                 StoreClient* reroute_via = nullptr,
+                                 bool multi_merge = false) {
     auto queue = std::make_shared<std::deque<smr::Request>>(script.begin(),
                                                             script.end());
     auto results = std::make_shared<std::vector<Result>>();
@@ -422,9 +423,12 @@ class StoreE2eTest : public ::testing::Test {
               queue->pop_front();
               return r;
             }),
-        smr::ClientNode::DoneFn([results](const smr::Completion& c) {
+        smr::ClientNode::DoneFn([results, multi_merge](
+                                    const smr::Completion& c) {
           if (c.results.size() == 1) {
             results->push_back(decode_result(c.results.begin()->second));
+          } else if (multi_merge) {
+            results->push_back(StoreClient::merge_multi(c.results));
           } else {
             results->push_back(StoreClient::merge_scan(c.results));
           }
@@ -662,6 +666,84 @@ TEST_F(StoreE2eTest, LiveSplitMovesKeysAndStaleClientsReroute) {
   // The reroute hook refreshed the client's deployment to schema v2.
   EXPECT_EQ(stale_client.deployment().schema_version, 2u);
   EXPECT_EQ(stale_client.deployment().partition_groups.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic cross-partition operations through the full stack: request routing
+// (one copy per owning ring), replica-side gather, execution at the merged
+// position of the last addressed group, and client-side reply merge.
+
+TEST_F(StoreE2eTest, AtomicMultiOpsAcrossPartitions) {
+  build(false, RangePartitioner({"m"}).encode(), 2);
+
+  // Cross-partition requests fan one send to each owning ring and expect
+  // both partitions to answer; same-partition multi ops degrade to an
+  // ordinary single-group command.
+  const auto cross_put = client_helper_->multi_put(
+      {{"a1", to_bytes("100")}, {"z1", to_bytes("100")}});
+  EXPECT_EQ(cross_put.sends.size(), 2u);
+  EXPECT_EQ(cross_put.expected_partitions, 2u);
+  EXPECT_TRUE(cross_put.atomic);
+  const auto local_get = client_helper_->multi_get({"a1", "a2"});
+  EXPECT_EQ(local_get.sends.size(), 1u);
+  EXPECT_EQ(local_get.expected_partitions, 1u);
+
+  auto res = run_script(
+      {
+          cross_put,
+          client_helper_->multi_get({"a1", "z1"}),
+          client_helper_->transfer("a1", "z1", 30),
+          client_helper_->multi_get({"a1", "z1"}),
+          client_helper_->transfer("z1", "a1", 5),
+          client_helper_->multi_get({"a1", "z1", "missing"}),
+          local_get,
+      },
+      kClient, nullptr, /*multi_merge=*/true);
+  ASSERT_EQ(res.size(), 7u);
+
+  // multi_put wrote both halves atomically.
+  EXPECT_EQ(res[0].status, Status::kOk);
+  ASSERT_EQ(res[1].entries.size(), 2u);
+  EXPECT_EQ(res[1].entries[0].first, "a1");
+  EXPECT_EQ(mrp::to_string(res[1].entries[0].second), "100");
+  EXPECT_EQ(res[1].entries[1].first, "z1");
+  EXPECT_EQ(mrp::to_string(res[1].entries[1].second), "100");
+
+  // transfer(a1 -> z1, 30): read-your-transfer through the SMR order.
+  EXPECT_EQ(res[2].status, Status::kOk);
+  ASSERT_EQ(res[3].entries.size(), 2u);
+  EXPECT_EQ(mrp::to_string(res[3].entries[0].second), "70");
+  EXPECT_EQ(mrp::to_string(res[3].entries[1].second), "130");
+
+  // Reverse transfer lands too; a missing key is simply absent from the
+  // merged entries (not an error).
+  ASSERT_EQ(res[5].entries.size(), 2u);
+  EXPECT_EQ(mrp::to_string(res[5].entries[0].second), "75");
+  EXPECT_EQ(mrp::to_string(res[5].entries[1].second), "125");
+
+  // Single-partition degradation: only the key that exists comes back.
+  ASSERT_EQ(res[6].entries.size(), 1u);
+  EXPECT_EQ(res[6].entries[0].first, "a1");
+
+  // Every replica of both partitions agrees on the final balances —
+  // conservation of the 200 written in, exactly-once at each replica.
+  env_.sim().run_for(from_seconds(2));
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      const ProcessId pid = deployment_.replicas[p][r];
+      const auto a = deployment_.replica_get(env_, pid, "a1");
+      const auto z = deployment_.replica_get(env_, pid, "z1");
+      if (p == 0) {
+        ASSERT_TRUE(a.has_value()) << "replica " << pid;
+        EXPECT_EQ(mrp::to_string(*a), "75") << "replica " << pid;
+        EXPECT_FALSE(z.has_value()) << "replica " << pid;
+      } else {
+        ASSERT_TRUE(z.has_value()) << "replica " << pid;
+        EXPECT_EQ(mrp::to_string(*z), "125") << "replica " << pid;
+        EXPECT_FALSE(a.has_value()) << "replica " << pid;
+      }
+    }
+  }
 }
 
 }  // namespace

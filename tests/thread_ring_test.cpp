@@ -138,6 +138,102 @@ TEST_F(ThreadRingTest, ThreeProcessRingDecidesAndConverges) {
   cluster.stop();
 }
 
+TEST_F(ThreadRingTest, AtomicMultiGroupOverLoopbackTcp) {
+  // Two rings, every process subscribing both: an atomic multi-group
+  // command travels as one copy per ring over real TCP, is gathered at each
+  // replica and executes exactly once — interleaved with single-ring
+  // commands from the same sessions (the overtaking case the exact dedup
+  // exists for), all on the threaded backend under TSan.
+  static constexpr GroupId kRingB = 1;
+  runtime::ThreadCluster cluster(cluster_options());
+  coord::Registry registry(cluster.add_oracle(coord::kRegistrySender),
+                           50 * kMillisecond);
+
+  for (GroupId g : {kRing, kRingB}) {
+    coord::RingConfig cfg;
+    cfg.ring = g;
+    cfg.order = {1, 2, 3};
+    cfg.acceptors = {1, 2, 3};
+    registry.create_ring(cfg);
+  }
+
+  multiring::NodeConfig node_cfg;
+  node_cfg.rings.push_back(multiring::RingSub{kRing, {}, true});
+  node_cfg.rings.push_back(multiring::RingSub{kRingB, {}, true});
+  for (ProcessId r : {1, 2, 3}) {
+    cluster.add_local(r, [&registry, node_cfg](runtime::Runtime& rt) {
+      return std::make_unique<smr::ReplicaNode>(
+          rt, &registry, node_cfg,
+          smr::StateMachineFactory([](runtime::Runtime&, ProcessId) {
+            return std::make_unique<CounterSm>();
+          }),
+          smr::ReplicaOptions{});
+    });
+  }
+
+  static constexpr int kTarget = 30;
+  std::atomic<int> done{0};
+  cluster.add_local(kClient, [&done](runtime::Runtime& rt) {
+    smr::ClientNode::Options opts;
+    opts.workers = 2;
+    opts.retry_timeout = kSecond;
+    return std::make_unique<smr::ClientNode>(
+        rt, opts,
+        smr::ClientNode::NextFn(
+            [n = 0](std::uint32_t) mutable -> std::optional<smr::Request> {
+              // Bound the *issued* count: with two workers a done-count
+              // bound would let one extra request slip in flight.
+              if (n >= kTarget) return std::nullopt;
+              const int k = n++;
+              smr::Request req;
+              req.op = to_bytes("inc");
+              if (k % 3 == 0) {
+                // Atomic multi-group: one copy per ring, same identity.
+                req.sends.push_back(smr::Request::Send{kRing, {1, 2, 3}});
+                req.sends.push_back(smr::Request::Send{kRingB, {1, 2, 3}});
+                req.atomic = true;
+              } else {
+                req.sends.push_back(
+                    smr::Request::Send{k % 3 == 1 ? kRing : kRingB, {1, 2, 3}});
+              }
+              req.expected_partitions = 1;  // all replicas answer with tag 0
+              return req;
+            }),
+        smr::ClientNode::DoneFn(
+            [&done](const smr::Completion&) { done.fetch_add(1); }));
+  });
+
+  cluster.start();
+  ASSERT_TRUE(wait_for([&done] { return done.load() >= kTarget; }, 60))
+      << "multi-group mix stalled over loopback TCP: " << done.load() << "/"
+      << kTarget << " completions";
+
+  // Exactly-once: a command addressed to both rings is delivered twice per
+  // replica but must bump the counter once, so every replica converges to
+  // exactly the completion count.
+  for (ProcessId r : {1, 2, 3}) {
+    ASSERT_TRUE(wait_for(
+        [&cluster, r] {
+          std::int64_t v = 0;
+          cluster.call(r, [&v](runtime::Node* n) {
+            auto& replica = dynamic_cast<smr::ReplicaNode&>(*n);
+            v = dynamic_cast<CounterSm&>(replica.state_machine()).value();
+          });
+          return v >= kTarget;
+        },
+        30))
+        << "replica " << r << " did not converge";
+    cluster.call(r, [r](runtime::Node* n) {
+      auto& replica = dynamic_cast<smr::ReplicaNode&>(*n);
+      EXPECT_EQ(dynamic_cast<CounterSm&>(replica.state_machine()).value(),
+                kTarget)
+          << "replica " << r
+          << " over-executed a multi-group command (gather dedup broken)";
+    });
+  }
+  cluster.stop();
+}
+
 TEST_F(ThreadRingTest, MultiWorkerLoadMakesProgress) {
   runtime::ThreadCluster cluster(cluster_options());
   coord::Registry registry(cluster.add_oracle(coord::kRegistrySender),

@@ -3,12 +3,13 @@
 
 Usage: tools/check_perf.py RESULTS_DIR [BASELINE_JSON]
 
-The baseline records events_per_second reference values (top-level per
-bench, per-row for micro_sim) measured on a CI-class runner, plus a
-tolerance factor. A run fails only when a metric drops below
-reference / tolerance — the tolerance is deliberately generous (2x) so that
-runner-to-runner noise never trips it, while a genuine engine regression
-(the kind that halves simulator speed) does.
+The baseline records reference values measured on a CI-class runner plus a
+tolerance factor: events_per_second top-level per bench, and per-row any
+numeric metric by name (micro_sim rows pin events_per_second,
+fig11_realnet's row pins ops_per_sec). A run fails only when a metric drops
+below reference / tolerance — the tolerance is deliberately generous (2x)
+so that runner-to-runner noise never trips it, while a genuine engine
+regression (the kind that halves simulator speed) does.
 
 Exit code 0 = all metrics within tolerance; 1 = regression or missing data.
 """
@@ -47,7 +48,7 @@ def main() -> None:
             nonlocal checked
             floor = reference / tolerance
             status = "ok" if current >= floor else "REGRESSION"
-            print(f"  {status:>10}  {metric_name}: {current:,.0f} ev/s "
+            print(f"  {status:>10}  {metric_name}: {current:,.0f} "
                   f"(reference {reference:,.0f}, floor {floor:,.0f})")
             if current < floor:
                 fail(f"{metric_name} regressed more than {tolerance}x")
@@ -63,9 +64,13 @@ def main() -> None:
                         if r.get("label") == row_label), None)
             if row is None:
                 fail(f"{name}: row '{row_label}' missing from results")
-            check(f"{name}/{row_label}",
-                  float(row["metrics"]["events_per_second"]),
-                  float(row_ref["events_per_second"]))
+            for metric_key, metric_ref in row_ref.items():
+                metrics = row.get("metrics", {})
+                if metric_key not in metrics:
+                    fail(f"{name}/{row_label}: metric '{metric_key}' "
+                         "missing from results")
+                check(f"{name}/{row_label}/{metric_key}",
+                      float(metrics[metric_key]), float(metric_ref))
 
     if checked == 0:
         fail("baseline contains no metrics to check")
