@@ -19,7 +19,8 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_results}"
 BENCHES=(micro_sim fig3_baseline fig4_ycsb fig5_dlog_bookkeeper fig6_vertical
          fig7_horizontal fig8_recovery fig8b_chaos fig9_elastic fig10_overload
-         fig11_realnet fig12_crosspartition ablation_multiring micro_protocol)
+         fig11_realnet fig12_crosspartition fig13_selfheal ablation_multiring
+         micro_protocol)
 if [[ -n "${MRP_BENCH_ONLY:-}" ]]; then
   read -r -a BENCHES <<< "$MRP_BENCH_ONLY"
 fi

@@ -86,6 +86,22 @@ bool wait_ready(Daemon& d) {
   return false;
 }
 
+/// Reaps any exited child without blocking. Returns the OS pid of a dead
+/// daemon (and describes how it died in `why`), or -1 if all are running.
+pid_t reap_dead_child(std::string& why) {
+  int status = 0;
+  const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+  if (dead <= 0) return -1;
+  if (WIFEXITED(status)) {
+    why = "exited with status " + std::to_string(WEXITSTATUS(status));
+  } else if (WIFSIGNALED(status)) {
+    why = "killed by signal " + std::to_string(WTERMSIG(status));
+  } else {
+    why = "stopped unexpectedly";
+  }
+  return dead;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,9 +170,13 @@ int main(int argc, char** argv) {
     if (!storage_dir.empty()) args.push_back("--storage-dir=" + storage_dir);
     daemons.push_back(spawn_mrpd(mrpd_path, args));
   }
-  for (Daemon& d : daemons) {
-    if (!wait_ready(d)) {
-      std::fprintf(stderr, "mrpctl: a daemon died before READY\n");
+  for (std::size_t i = 0; i < daemons.size(); ++i) {
+    if (!wait_ready(daemons[i])) {
+      std::fprintf(stderr,
+                   "mrpctl: mrpd for replica %d (os pid %d) died before "
+                   "READY\n",
+                   static_cast<int>(members[i]),
+                   static_cast<int>(daemons[i].pid));
       for (Daemon& k : daemons) ::kill(k.pid, SIGKILL);
       return 1;
     }
@@ -210,6 +230,32 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto deadline = t0 + std::chrono::seconds(60);
   while (done.load() < ops && std::chrono::steady_clock::now() < deadline) {
+    // A dead daemon must fail the run loudly, not hang the closed loop
+    // until the deadline: reap it, say which replica died and how, tear
+    // everything down, and exit non-zero.
+    std::string why;
+    const pid_t dead = reap_dead_child(why);
+    if (dead > 0) {
+      ProcessId replica = kNoProcess;
+      for (std::size_t i = 0; i < daemons.size(); ++i) {
+        if (daemons[i].pid == dead) replica = members[i];
+      }
+      std::fprintf(stderr,
+                   "mrpctl: mrpd for replica %d (os pid %d) %s with %d/%d "
+                   "increments done — aborting\n",
+                   static_cast<int>(replica), static_cast<int>(dead),
+                   why.c_str(), done.load(), ops);
+      cluster.stop();
+      for (Daemon& d : daemons) {
+        if (d.pid != dead) ::kill(d.pid, SIGKILL);
+        ::close(d.in_fd);
+      }
+      for (Daemon& d : daemons) {
+        if (d.pid != dead) ::waitpid(d.pid, nullptr, 0);
+        std::fclose(d.out);
+      }
+      return 1;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   const double elapsed =

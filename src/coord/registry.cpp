@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/backoff.hpp"
 #include "common/check.hpp"
 
 namespace mrp::coord {
@@ -42,6 +43,8 @@ void Registry::create_ring(const RingConfig& config) {
         std::find(config.order.begin(), config.order.end(), a) != config.order.end(),
         "acceptor not in ring order");
   }
+  MRP_CHECK(config.fd.interval >= 0);
+  MRP_CHECK(config.fd.jitter >= 0.0 && config.fd.jitter <= 1.0);
   MRP_CHECK_MSG(rings_.find(config.ring) == rings_.end(), "ring exists");
   RingState& rs = rings_[config.ring];
   rs.config = config;
@@ -49,23 +52,58 @@ void Registry::create_ring(const RingConfig& config) {
   // deployments create rings before spawning the member processes, and the
   // failure-detector poll prunes anything that never comes up.
   const std::set<ProcessId> all(config.order.begin(), config.order.end());
-  rs.view = build_view(config, all, 1, kNoProcess);
+  rs.view = build_view(config, all, 1, rs.acceptor_view, kNoProcess);
   notify(rs);
+  // Rings with their own failure-detector tuning get a dedicated
+  // self-rescheduling (and optionally jittered) timer chain; the others
+  // ride the registry-wide poll.
+  if (config.fd.interval > 0 || config.fd.jitter > 0.0) {
+    arm_ring_fd(config.ring);
+  }
+}
+
+void Registry::arm_ring_fd(GroupId ring) {
+  // Lock held. The jitter draw makes simultaneous suspicion storms across
+  // rings decohere while staying deterministic under the seeded Rng: each
+  // tick lands in [(1-jitter)*interval, interval].
+  auto it = rings_.find(ring);
+  MRP_CHECK(it != rings_.end());
+  const FdParams& fd = it->second.config.fd;
+  const TimeNs base = fd.interval > 0 ? fd.interval : fd_interval_;
+  TimeNs delay = base;
+  if (fd.jitter > 0.0) {
+    delay = jittered_backoff(1, BackoffParams{base, base, fd.jitter},
+                             rt_.rng());
+  }
+  rt_.schedule(delay, [this, ring] {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto ring_it = rings_.find(ring);
+    if (ring_it == rings_.end()) return;
+    poll_ring(ring_it->second);
+    arm_ring_fd(ring);
+  });
 }
 
 RingView Registry::build_view(const RingConfig& cfg,
                               const std::set<ProcessId>& alive,
-                              std::uint64_t epoch, ProcessId sticky_coord) {
+                              std::uint64_t epoch,
+                              std::uint64_t acceptor_view,
+                              ProcessId sticky_coord) {
   RingView v;
   v.ring = cfg.ring;
   v.epoch = epoch;
+  v.acceptor_view = acceptor_view;
   v.total_acceptors = cfg.acceptors.size();
+  v.configured_acceptors.assign(cfg.acceptors.begin(), cfg.acceptors.end());
   for (ProcessId p : cfg.order) {
     if (!alive.count(p)) continue;
     v.members.push_back(p);
     if (cfg.acceptors.count(p)) v.acceptors.push_back(p);
   }
-  if (sticky_coord != kNoProcess && alive.count(sticky_coord)) {
+  // Sticky coordinator — but only while it is both alive and still part of
+  // the quorum basis: a reconfiguration may have demoted it to a learner.
+  if (sticky_coord != kNoProcess && alive.count(sticky_coord) &&
+      cfg.acceptors.count(sticky_coord)) {
     v.coordinator = sticky_coord;
   } else if (!v.acceptors.empty()) {
     v.coordinator = v.acceptors.front();
@@ -99,7 +137,7 @@ void Registry::bump_view(RingState& rs) {
   for (ProcessId p : rs.config.order) {
     if (rt_.peer_alive(p)) alive.insert(p);
   }
-  rs.view = build_view(rs.config, alive, rs.view.epoch + 1,
+  rs.view = build_view(rs.config, alive, rs.view.epoch + 1, rs.acceptor_view,
                        rs.view.coordinator);
   rs.notified.clear();
   notify(rs);
@@ -123,11 +161,188 @@ void Registry::remove_ring_member(GroupId ring, ProcessId p) {
   MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
   RingState& rs = it->second;
   MRP_CHECK_MSG(!rs.config.acceptors.count(p),
-                "cannot remove an acceptor: the quorum basis is fixed");
+                "still an acceptor: remove_acceptor first");
   auto pos = std::find(rs.config.order.begin(), rs.config.order.end(), p);
   MRP_CHECK_MSG(pos != rs.config.order.end(), "not a ring member");
   rs.config.order.erase(pos);
   bump_view(rs);
+}
+
+// --- acceptor-set reconfiguration -------------------------------------------
+
+bool Registry::acceptor_alive_majority_safe(const RingState& rs,
+                                            ProcessId /*removing*/) const {
+  // Every old-basis majority must intersect the alive acceptor set: then
+  // for every decided instance at least one alive acceptor holds its
+  // record, so the union of the alive logs covers all decided state.
+  // |alive| + quorum > n  <=>  alive >= n - quorum + 1.
+  const std::size_t n = rs.config.acceptors.size();
+  const std::size_t quorum = n / 2 + 1;
+  std::size_t alive = 0;
+  for (ProcessId a : rs.config.acceptors) {
+    if (rt_.peer_alive(a)) ++alive;
+  }
+  return alive + quorum > n;
+}
+
+void Registry::begin_change(RingState& rs, ProcessId add, ProcessId remove,
+                            bool drop_removed_member, bool from_auto_heal) {
+  MRP_CHECK_MSG(!rs.pending.active, "acceptor-set change already pending");
+  PendingChange pc;
+  pc.active = true;
+  pc.seq = ++change_seq_;
+  pc.add = add;
+  pc.remove = remove;
+  pc.drop_removed_member = drop_removed_member;
+  pc.from_auto_heal = from_auto_heal;
+  // The joiner drains the UNION of every alive acceptor's log before the
+  // basis switches: with a simultaneous remove+add the old and new
+  // majorities need not intersect, so no single log is guaranteed to hold
+  // every decided instance — the union of all alive ones is (see
+  // acceptor_alive_majority_safe).
+  for (ProcessId a : rs.config.acceptors) {
+    if (a == add || a == remove) continue;
+    if (rt_.peer_alive(a)) pc.sources.push_back(a);
+  }
+  MRP_CHECK_MSG(!pc.sources.empty(), "no alive acceptor to catch up from");
+  rs.pending = std::move(pc);
+  send_prep(rs);
+}
+
+void Registry::send_prep(RingState& rs) {
+  if (!rt_.peer_alive(rs.pending.add)) return;
+  auto msg = std::make_shared<MsgAcceptorPrep>();
+  msg->ring = rs.config.ring;
+  msg->seq = rs.pending.seq;
+  msg->sources = rs.pending.sources;
+  rt_.send(rs.pending.add, msg);
+}
+
+void Registry::add_acceptor(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  RingState& rs = it->second;
+  MRP_CHECK_MSG(!rs.config.acceptors.count(p), "already an acceptor");
+  MRP_CHECK_MSG(rs.config.acceptors.size() < 64,
+                "vote mask holds 64 acceptors");
+  if (std::find(rs.config.order.begin(), rs.config.order.end(), p) ==
+      rs.config.order.end()) {
+    // Joining as a member first: it follows the decision stream as a
+    // learner while it catches up on the acceptor log.
+    rs.config.order.push_back(p);
+    bump_view(rs);
+  }
+  begin_change(rs, p, kNoProcess, /*drop_removed_member=*/false,
+               /*from_auto_heal=*/false);
+}
+
+void Registry::remove_acceptor(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  RingState& rs = it->second;
+  MRP_CHECK_MSG(rs.config.acceptors.count(p), "not an acceptor");
+  MRP_CHECK_MSG(rs.config.acceptors.size() >= 2,
+                "cannot remove the last acceptor");
+  MRP_CHECK_MSG(!rs.pending.active,
+                "acceptor-set change already pending");
+  // Single-step shrink is intersection-safe (any n/2+1 of n and any
+  // (n-1)/2+1 of n-1 overlap), so the new basis activates immediately.
+  rs.config.acceptors.erase(p);
+  rs.suspect_since.erase(p);
+  ++rs.acceptor_view;
+  bump_view(rs);
+}
+
+void Registry::replace_acceptor(GroupId ring, ProcessId dead,
+                                ProcessId standby) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  RingState& rs = it->second;
+  MRP_CHECK_MSG(rs.config.acceptors.count(dead), "not an acceptor");
+  MRP_CHECK_MSG(!rs.config.acceptors.count(standby), "already an acceptor");
+  MRP_CHECK_MSG(rt_.peer_alive(standby), "replacement is not alive");
+  MRP_CHECK_MSG(!rs.pending.active, "acceptor-set change already pending");
+  MRP_CHECK_MSG(acceptor_alive_majority_safe(rs, dead),
+                "too many dead acceptors: alive logs cannot cover every "
+                "decided instance");
+  std::erase(rs.config.standbys, standby);
+  if (std::find(rs.config.order.begin(), rs.config.order.end(), standby) ==
+      rs.config.order.end()) {
+    rs.config.order.push_back(standby);
+    bump_view(rs);
+  }
+  begin_change(rs, standby, dead, /*drop_removed_member=*/true,
+               /*from_auto_heal=*/false);
+}
+
+void Registry::add_standby(GroupId ring, ProcessId p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  RingState& rs = it->second;
+  if (std::find(rs.config.standbys.begin(), rs.config.standbys.end(), p) ==
+      rs.config.standbys.end()) {
+    rs.config.standbys.push_back(p);
+  }
+}
+
+void Registry::acceptor_synced(GroupId ring, ProcessId p, std::uint64_t seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  if (it == rings_.end()) return;
+  RingState& rs = it->second;
+  if (!rs.pending.active || rs.pending.add != p || rs.pending.seq != seq) {
+    return;  // stale confirmation of an aborted/restarted change attempt
+  }
+  const PendingChange pc = rs.pending;
+  rs.pending = PendingChange{};
+  if (std::find(rs.config.order.begin(), rs.config.order.end(), pc.add) ==
+      rs.config.order.end()) {
+    rs.config.order.push_back(pc.add);
+  }
+  rs.config.acceptors.insert(pc.add);
+  if (pc.remove != kNoProcess) {
+    rs.config.acceptors.erase(pc.remove);
+    rs.suspect_since.erase(pc.remove);
+    if (pc.drop_removed_member) {
+      std::erase(rs.config.order, pc.remove);
+    }
+  }
+  if (pc.from_auto_heal) ++heal_count_;
+  // Activation: new quorum basis under a bumped acceptor view; the epoch
+  // bump forces the (possibly new) coordinator to re-run Phase 1 with a
+  // round higher than anything the old basis used.
+  ++rs.acceptor_view;
+  bump_view(rs);
+}
+
+std::uint64_t Registry::acceptor_view(GroupId ring) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  return it->second.acceptor_view;
+}
+
+std::vector<ProcessId> Registry::standbys(GroupId ring) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  return it->second.config.standbys;
+}
+
+bool Registry::change_pending(GroupId ring) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rings_.find(ring);
+  MRP_CHECK_MSG(it != rings_.end(), "unknown ring");
+  return it->second.pending.active;
+}
+
+std::uint64_t Registry::heal_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return heal_count_;
 }
 
 void Registry::watch_ring(GroupId ring, ProcessId p) {
@@ -254,7 +469,92 @@ void Registry::check_now() {
 }
 
 void Registry::poll() {
-  for (auto& [_, rs] : rings_) recompute(rs);
+  for (auto& [_, rs] : rings_) {
+    // Rings with their own failure-detector chain (custom interval/jitter)
+    // are polled by that chain, not the registry-wide tick.
+    if (rs.config.fd.interval > 0 || rs.config.fd.jitter > 0.0) continue;
+    poll_ring(rs);
+  }
+}
+
+void Registry::poll_ring(RingState& rs) {
+  // Track how long each configured acceptor has been dead (first-seen
+  // timestamp; erased the moment it answers again) — the input to the
+  // permanently-suspect decision.
+  const TimeNs now = rt_.now();
+  for (ProcessId a : rs.config.acceptors) {
+    if (rt_.peer_alive(a)) {
+      rs.suspect_since.erase(a);
+    } else {
+      rs.suspect_since.emplace(a, now);  // keeps the earliest sighting
+    }
+  }
+  recompute(rs);
+  check_pending(rs);
+  check_suspects(rs);
+}
+
+void Registry::check_pending(RingState& rs) {
+  if (!rs.pending.active) return;
+  if (!rt_.peer_alive(rs.pending.add)) {
+    // The joiner died mid-catch-up: abort. An auto-heal retries with the
+    // next standby on a later tick; the dead draftee is not returned to
+    // the pool.
+    rs.pending = PendingChange{};
+    return;
+  }
+  for (ProcessId s : rs.pending.sources) {
+    if (rt_.peer_alive(s)) continue;
+    // A sync source died: the union the joiner is draining may no longer
+    // cover every decided instance. Restart the change with a fresh seq
+    // and the current alive-source list (the joiner switches over when the
+    // new prep arrives) — unless too few acceptors survive for the union
+    // to be sufficient, in which case the change is abandoned.
+    const PendingChange old = rs.pending;
+    rs.pending = PendingChange{};
+    if (old.remove != kNoProcess &&
+        !acceptor_alive_majority_safe(rs, old.remove)) {
+      return;
+    }
+    begin_change(rs, old.add, old.remove, old.drop_removed_member,
+                 old.from_auto_heal);
+    return;
+  }
+  // Preps are fire-and-forget over a lossy network: re-send every tick
+  // while the change is pending (the joiner dedups by seq).
+  send_prep(rs);
+}
+
+void Registry::check_suspects(RingState& rs) {
+  const FdParams& fd = rs.config.fd;
+  if (!fd.auto_heal || rs.pending.active) return;
+  const TimeNs now = rt_.now();
+  for (ProcessId a : rs.config.acceptors) {
+    auto it = rs.suspect_since.find(a);
+    if (it == rs.suspect_since.end()) continue;
+    if (now - it->second < fd.suspect_grace) continue;
+    // Permanently suspect: draft the first healthy standby. If none is
+    // available (or too many acceptors are down to swap safely), retry on
+    // a later tick — the suspicion record keeps aging.
+    ProcessId draft = kNoProcess;
+    for (ProcessId s : rs.config.standbys) {
+      if (rt_.peer_alive(s) && !rs.config.acceptors.count(s)) {
+        draft = s;
+        break;
+      }
+    }
+    if (draft == kNoProcess) return;
+    if (!acceptor_alive_majority_safe(rs, a)) return;
+    std::erase(rs.config.standbys, draft);
+    if (std::find(rs.config.order.begin(), rs.config.order.end(), draft) ==
+        rs.config.order.end()) {
+      rs.config.order.push_back(draft);
+      bump_view(rs);
+    }
+    begin_change(rs, draft, a, /*drop_removed_member=*/true,
+                 /*from_auto_heal=*/true);
+    return;  // one change at a time
+  }
 }
 
 void Registry::recompute(RingState& rs) {
@@ -265,7 +565,7 @@ void Registry::recompute(RingState& rs) {
   std::set<ProcessId> current(rs.view.members.begin(), rs.view.members.end());
   if (alive != current) {
     rs.view = build_view(rs.config, alive, rs.view.epoch + 1,
-                         rs.view.coordinator);
+                         rs.acceptor_view, rs.view.coordinator);
     rs.notified.clear();
   }
   notify(rs);

@@ -20,11 +20,20 @@
 //     watchers with MsgSchemaChange — the watch-style pattern ring views
 //     use, which is what makes online scale-out observable,
 //   * dynamic membership: rings can gain (and shed) non-acceptor members
-//     while serving traffic; every change is a new epoch-numbered view.
+//     while serving traffic; every change is a new epoch-numbered view,
+//   * acceptor reconfiguration: the quorum basis itself can grow, shrink
+//     and replace members under an epoch-fenced acceptor view — a joiner
+//     catches up from the alive acceptors' logs (MsgAcceptorPrep handshake)
+//     before the basis switches, so activation happens at a safe boundary,
+//   * self-healing: per-ring failure-detector params (FdParams) can mark an
+//     acceptor permanently suspect after a grace period and automatically
+//     replace it from a standby pool — the ring returns to full quorum
+//     health without operator action.
 //
 // View epochs are monotonically increasing per ring and double as Paxos
 // round numbers, so a newly elected coordinator always owns a higher round
-// than any predecessor.
+// than any predecessor. Every acceptor-view bump is also an epoch bump,
+// which forces coordinator re-election under the new quorum basis.
 #pragma once
 
 #include <functional>
@@ -52,12 +61,21 @@ namespace mrp::coord {
 constexpr ProcessId kRegistrySender = -100;
 
 /// A ring view: the alive members of a ring at some epoch, in ring order.
+///
+/// `acceptor_view` numbers the quorum basis: it bumps (together with the
+/// epoch) on every acceptor add/remove/replace and fences every Phase 1/2
+/// message — acceptors vote only on messages stamped with their own
+/// acceptor view, so no vote bitmask ever mixes two bases.
+/// `configured_acceptors` is the sorted basis itself; an acceptor's vote
+/// bit is its index in this vector.
 struct RingView {
   GroupId ring = -1;
   std::uint64_t epoch = 0;
+  std::uint64_t acceptor_view = 0;   // quorum-basis generation (>= 1)
   std::vector<ProcessId> members;    // alive members, configured ring order
   std::vector<ProcessId> acceptors;  // alive acceptors, configured ring order
-  std::size_t total_acceptors = 0;   // configured count; quorum basis
+  std::vector<ProcessId> configured_acceptors;  // sorted; vote-bit basis
+  std::size_t total_acceptors = 0;   // == configured_acceptors.size()
   ProcessId coordinator = kNoProcess;
 
   std::size_t quorum() const { return total_acceptors / 2 + 1; }
@@ -67,14 +85,30 @@ struct RingView {
   ProcessId successor(ProcessId p) const;
 };
 
+/// Per-ring failure-detector tuning. A ring with a custom interval (or
+/// jitter) gets its own self-rescheduling suspect timer chain instead of
+/// riding the registry-wide poll; the jitter fraction desynchronises
+/// simultaneous suspicion storms across rings (deterministic under the
+/// seeded Rng — common/backoff.hpp).
+struct FdParams {
+  TimeNs interval = 0;       ///< poll period; 0 = registry-wide default
+  double jitter = 0.0;       ///< jittered fraction of the interval, [0, 1]
+  TimeNs suspect_grace = 0;  ///< dead this long => permanently suspect
+  bool auto_heal = false;    ///< replace permanently-suspect acceptors
+};
+
 /// Configuration of one ring (one multicast group). The member list can
-/// grow/shrink at runtime (add_ring_member / remove_ring_member); the
-/// acceptor set is fixed for the ring's lifetime, so the quorum basis never
-/// changes under reconfiguration.
+/// grow/shrink at runtime (add_ring_member / remove_ring_member), and the
+/// acceptor set itself is reconfigurable: add_acceptor / remove_acceptor /
+/// replace_acceptor change the quorum basis under an epoch-fenced acceptor
+/// view, with log catch-up before a joiner activates. `standbys` is the
+/// pool automatic healing draws replacements from.
 struct RingConfig {
   GroupId ring = -1;
-  std::vector<ProcessId> order;   // full configured ring order
-  std::set<ProcessId> acceptors;  // subset of order
+  std::vector<ProcessId> order;      // full configured ring order
+  std::set<ProcessId> acceptors;     // subset of order; current quorum basis
+  std::vector<ProcessId> standbys;   // replacement pool for auto-heal
+  FdParams fd;                       // per-ring failure-detector tuning
 };
 
 /// A versioned schema entry (the services' partition schema). Version 0
@@ -87,6 +121,7 @@ struct SchemaEntry {
 constexpr int kMsgViewChange = 600;
 constexpr int kMsgSchemaChange = 601;
 constexpr int kMsgSubChange = 602;
+constexpr int kMsgAcceptorPrep = 603;
 
 struct MsgViewChange : runtime::Message {
   RingView view;
@@ -94,6 +129,22 @@ struct MsgViewChange : runtime::Message {
   std::size_t wire_size() const override {
     return 32 + view.members.size() * 8;
   }
+};
+
+/// Registry -> joining acceptor: catch up from the listed sources' acceptor
+/// logs, then confirm with Registry::acceptor_synced(ring, self, seq). The
+/// sources are every alive configured acceptor at the time the change began
+/// — the joiner must drain the UNION of their logs: with a simultaneous
+/// remove+add the old and new majorities need not intersect, so only the
+/// union of all alive logs is guaranteed to cover every decided instance.
+/// Re-sent on every failure-detector tick while the change is pending
+/// (receivers dedup by seq).
+struct MsgAcceptorPrep : runtime::Message {
+  GroupId ring = -1;
+  std::uint64_t seq = 0;             // change-attempt id (registry-global)
+  std::vector<ProcessId> sources;    // alive acceptors to drain
+  int kind() const override { return kMsgAcceptorPrep; }
+  std::size_t wire_size() const override { return 24 + sources.size() * 8; }
 };
 
 /// Watch notification: schema `key` is now at `entry.version`.
@@ -151,6 +202,51 @@ class Registry {
   /// publishes the change as a new view.
   void remove_ring_member(GroupId ring, ProcessId p);
 
+  // --- acceptor-set reconfiguration (epoch-fenced views) ---
+
+  /// Begins adding `p` to the ring's quorum basis. `p` is appended to the
+  /// ring order if not already a member, then catches up from the alive
+  /// acceptors' logs (MsgAcceptorPrep handshake); the basis changes — and a
+  /// new acceptor view + epoch is published — only once `p` confirms via
+  /// acceptor_synced. Only one acceptor-set change may be pending per ring.
+  void add_acceptor(GroupId ring, ProcessId p);
+
+  /// Removes `p` from the quorum basis immediately (single-step shrink is
+  /// intersection-safe: any old and new majority share an acceptor, so no
+  /// catch-up is needed). `p` stays a ring member (a learner) if alive.
+  /// At least one acceptor must remain.
+  void remove_acceptor(GroupId ring, ProcessId p);
+
+  /// Begins replacing `dead` with `standby` (one pending change at a time).
+  /// Requires enough alive acceptors that every old majority intersects the
+  /// alive set — the union of alive logs then covers every decided
+  /// instance, which is what makes the simultaneous remove+add safe even
+  /// though old and new majorities may be disjoint. `standby` catches up
+  /// from that union before the basis changes; `dead` leaves the ring
+  /// order entirely when the change activates.
+  void replace_acceptor(GroupId ring, ProcessId dead, ProcessId standby);
+
+  /// Adds `p` to the ring's standby pool (auto-heal replacement candidates).
+  /// `p` should already be a ring member (a learner following the decision
+  /// stream) so it can start catch-up the moment it is drafted.
+  void add_standby(GroupId ring, ProcessId p);
+
+  /// Joining acceptor's confirmation that it drained every source log of
+  /// change-attempt `seq`. Activates the pending change: the new quorum
+  /// basis is published under a bumped acceptor view + epoch. Ignores
+  /// stale/unknown (ring, p, seq) combinations (a restarted change attempt
+  /// has a fresh seq).
+  void acceptor_synced(GroupId ring, ProcessId p, std::uint64_t seq);
+
+  /// Current acceptor-view number of `ring` (1 = initial basis).
+  std::uint64_t acceptor_view(GroupId ring) const;
+  /// Remaining standby pool of `ring`.
+  std::vector<ProcessId> standbys(GroupId ring) const;
+  /// True while an acceptor-set change is pending (catch-up in progress).
+  bool change_pending(GroupId ring) const;
+  /// Completed automatic heals (acceptor replacements) across all rings.
+  std::uint64_t heal_count() const;
+
   /// Registers p as a watcher: it receives the current view immediately and
   /// a MsgViewChange whenever the view changes. Watches survive crashes of
   /// the watcher (the view is re-sent when it rejoins).
@@ -198,11 +294,27 @@ class Registry {
   void check_now();
 
  private:
+  /// One in-flight acceptor-set change (at most one per ring): the joiner
+  /// `add` drains `sources` and confirms with seq; `remove` leaves the
+  /// basis at activation (kNoProcess for a pure add).
+  struct PendingChange {
+    bool active = false;
+    std::uint64_t seq = 0;
+    ProcessId add = kNoProcess;
+    ProcessId remove = kNoProcess;
+    bool drop_removed_member = false;  // auto-heal: dead node leaves order
+    bool from_auto_heal = false;
+    std::vector<ProcessId> sources;
+  };
+
   struct RingState {
     RingConfig config;
     RingView view;
+    std::uint64_t acceptor_view = 1;
     std::set<ProcessId> watchers;
     std::set<ProcessId> notified;  // watchers already at view.epoch
+    PendingChange pending;
+    std::map<ProcessId, TimeNs> suspect_since;  // dead acceptors, first seen
   };
   struct SchemaState {
     SchemaEntry entry;
@@ -210,15 +322,27 @@ class Registry {
   };
 
   void poll();
+  void poll_ring(RingState& rs);
   void recompute(RingState& rs);
   void notify(RingState& rs);
   void bump_view(RingState& rs);
+  void arm_ring_fd(GroupId ring);
+  void begin_change(RingState& rs, ProcessId add, ProcessId remove,
+                    bool drop_removed_member, bool from_auto_heal);
+  void send_prep(RingState& rs);
+  void check_pending(RingState& rs);
+  void check_suspects(RingState& rs);
+  bool acceptor_alive_majority_safe(const RingState& rs,
+                                    ProcessId removing) const;
   static RingView build_view(const RingConfig& cfg,
                              const std::set<ProcessId>& alive,
-                             std::uint64_t epoch, ProcessId sticky_coord);
+                             std::uint64_t epoch, std::uint64_t acceptor_view,
+                             ProcessId sticky_coord);
 
   runtime::Runtime& rt_;
   TimeNs fd_interval_;
+  std::uint64_t change_seq_ = 0;  // change-attempt ids, registry-global
+  std::uint64_t heal_count_ = 0;
   // On the thread backend, watch/set/publish calls arrive from every node's
   // loop thread while the fd tick runs on the registry's own; one mutex
   // serializes them (uncontended and free on the sim backend). Public

@@ -158,6 +158,11 @@ void MultiRingNode::on_message(ProcessId from, const runtime::Message& m) {
     if (auto* h = handler(vc.view.ring)) h->on_view(vc.view);
     return;
   }
+  if (m.kind() == coord::kMsgAcceptorPrep) {
+    const auto& pm = runtime::msg_cast<coord::MsgAcceptorPrep>(m);
+    if (auto* h = handler(pm.ring)) h->on_acceptor_prep(pm);
+    return;
+  }
   if (m.kind() >= 100 && m.kind() <= 199) {
     const auto& rm = runtime::msg_cast<ringpaxos::RingMessage>(m);
     if (auto* h = handler(rm.ring)) h->handle(from, m);

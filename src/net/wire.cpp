@@ -121,6 +121,7 @@ bool encode_body(Writer& w, const runtime::Message& m) {
       put_ring_base(w, x);
       w.u64(x.round);
       w.u64(x.floor);
+      w.u64(x.aview);
       return true;
     }
     case ringpaxos::kMsgPhase1B: {
@@ -129,6 +130,7 @@ bool encode_body(Writer& w, const runtime::Message& m) {
       w.u64(x.round);
       put_id(w, x.acceptor);
       w.u64(x.trimmed_to);
+      w.u64(x.aview);
       w.varint(x.promises.size());
       for (const auto& p : x.promises) put_promise(w, p);
       return true;
@@ -140,6 +142,7 @@ bool encode_body(Writer& w, const runtime::Message& m) {
       w.u64(x.instance);
       put_value(w, x.value);
       w.u64(x.votes);
+      w.u64(x.aview);
       return true;
     }
     case ringpaxos::kMsgDecision: {
@@ -185,6 +188,26 @@ bool encode_body(Writer& w, const runtime::Message& m) {
       w.i64(x.retry_after);
       return true;
     }
+    case ringpaxos::kMsgLogSyncReq: {
+      const auto& x = runtime::msg_cast<ringpaxos::MsgLogSyncReq>(m);
+      put_ring_base(w, x);
+      w.u64(x.seq);
+      w.u64(x.from);
+      return true;
+    }
+    case ringpaxos::kMsgLogSyncReply: {
+      const auto& x = runtime::msg_cast<ringpaxos::MsgLogSyncReply>(m);
+      put_ring_base(w, x);
+      w.u64(x.seq);
+      w.u64(x.from);
+      w.u64(x.promised);
+      w.u64(x.trimmed_to);
+      w.varint(x.records.size());
+      for (const auto& p : x.records) put_promise(w, p);
+      w.u64(x.next);
+      w.u8(x.done ? 1 : 0);
+      return true;
+    }
 
     case smr::kMsgClientRequest: {
       const auto& x = runtime::msg_cast<smr::MsgClientRequest>(m);
@@ -219,6 +242,9 @@ bool encode_body(Writer& w, const runtime::Message& m) {
       for (ProcessId p : x.view.acceptors) put_id(w, p);
       w.varint(x.view.total_acceptors);
       put_id(w, x.view.coordinator);
+      w.u64(x.view.acceptor_view);
+      w.varint(x.view.configured_acceptors.size());
+      for (ProcessId p : x.view.configured_acceptors) put_id(w, p);
       return true;
     }
     case coord::kMsgSchemaChange: {
@@ -234,6 +260,14 @@ bool encode_body(Writer& w, const runtime::Message& m) {
       w.u64(x.epoch);
       w.varint(x.groups.size());
       for (GroupId g : x.groups) put_id(w, g);
+      return true;
+    }
+    case coord::kMsgAcceptorPrep: {
+      const auto& x = runtime::msg_cast<coord::MsgAcceptorPrep>(m);
+      put_id(w, x.ring);
+      w.u64(x.seq);
+      w.varint(x.sources.size());
+      for (ProcessId p : x.sources) put_id(w, p);
       return true;
     }
 
@@ -289,6 +323,7 @@ runtime::MessagePtr decode_body(int kind, Reader& r) {
       auto m = ring_base<ringpaxos::MsgPhase1A>(r);
       m->round = r.u64();
       m->floor = r.u64();
+      m->aview = r.u64();
       return m;
     }
     case ringpaxos::kMsgPhase1B: {
@@ -296,6 +331,7 @@ runtime::MessagePtr decode_body(int kind, Reader& r) {
       m->round = r.u64();
       m->acceptor = get_id(r);
       m->trimmed_to = r.u64();
+      m->aview = r.u64();
       std::uint64_t n = r.varint();
       m->promises.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) m->promises.push_back(get_promise(r));
@@ -307,6 +343,7 @@ runtime::MessagePtr decode_body(int kind, Reader& r) {
       m->instance = r.u64();
       m->value = get_value(r);
       m->votes = r.u64();
+      m->aview = r.u64();
       return m;
     }
     case ringpaxos::kMsgDecision: {
@@ -348,6 +385,25 @@ runtime::MessagePtr decode_body(int kind, Reader& r) {
       m->retry_after = r.i64();
       return m;
     }
+    case ringpaxos::kMsgLogSyncReq: {
+      auto m = ring_base<ringpaxos::MsgLogSyncReq>(r);
+      m->seq = r.u64();
+      m->from = r.u64();
+      return m;
+    }
+    case ringpaxos::kMsgLogSyncReply: {
+      auto m = ring_base<ringpaxos::MsgLogSyncReply>(r);
+      m->seq = r.u64();
+      m->from = r.u64();
+      m->promised = r.u64();
+      m->trimmed_to = r.u64();
+      std::uint64_t n = r.varint();
+      m->records.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) m->records.push_back(get_promise(r));
+      m->next = r.u64();
+      m->done = r.u8() != 0;
+      return m;
+    }
 
     case smr::kMsgClientRequest: {
       auto m = std::make_shared<smr::MsgClientRequest>();
@@ -385,6 +441,11 @@ runtime::MessagePtr decode_body(int kind, Reader& r) {
         m->view.acceptors.push_back(get_id(r));
       m->view.total_acceptors = static_cast<std::size_t>(r.varint());
       m->view.coordinator = get_id(r);
+      m->view.acceptor_view = r.u64();
+      std::uint64_t nc = r.varint();
+      m->view.configured_acceptors.reserve(nc);
+      for (std::uint64_t i = 0; i < nc; ++i)
+        m->view.configured_acceptors.push_back(get_id(r));
       return m;
     }
     case coord::kMsgSchemaChange: {
@@ -401,6 +462,15 @@ runtime::MessagePtr decode_body(int kind, Reader& r) {
       std::uint64_t n = r.varint();
       m->groups.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) m->groups.push_back(get_id(r));
+      return m;
+    }
+    case coord::kMsgAcceptorPrep: {
+      auto m = std::make_shared<coord::MsgAcceptorPrep>();
+      m->ring = get_id(r);
+      m->seq = r.u64();
+      std::uint64_t n = r.varint();
+      m->sources.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) m->sources.push_back(get_id(r));
       return m;
     }
 

@@ -25,6 +25,7 @@ void RingHandler::become_coordinator() {
   own.round = coord_.round;
   own.acceptor = host_.id();
   own.trimmed_to = log_->trimmed_to();
+  own.aview = view_.acceptor_view;
   own.promises = log_->promises_from(next_delivery_);
   coord_.phase1_replies[host_.id()] = std::move(own);
 
@@ -34,6 +35,7 @@ void RingHandler::become_coordinator() {
     m->ring = ring_;
     m->round = coord_.round;
     m->floor = next_delivery_;
+    m->aview = view_.acceptor_view;
     host_.send(a, m);
   }
   maybe_finish_phase1();
@@ -63,13 +65,17 @@ void RingHandler::resign_coordinator() {
 }
 
 void RingHandler::handle_phase1a(ProcessId from, const MsgPhase1A& m) {
-  if (!log_) return;
+  if (!log_ || !configured_acceptor_) return;
+  // Promise only under the basis the coordinator elected with: a promise
+  // from a different acceptor view would count toward the wrong quorum.
+  if (m.aview != view_.acceptor_view) return;
   if (m.round < log_->promised()) return;  // stale coordinator
   auto reply = std::make_shared<MsgPhase1B>();
   reply->ring = ring_;
   reply->round = m.round;
   reply->acceptor = host_.id();
   reply->trimmed_to = log_->trimmed_to();
+  reply->aview = m.aview;
   reply->promises = log_->promises_from(m.floor);
   // Log the promise before answering (Section 5.1).
   log_->promise(m.round, host_.guard([this, from, reply] {
@@ -80,6 +86,7 @@ void RingHandler::handle_phase1a(ProcessId from, const MsgPhase1A& m) {
 void RingHandler::handle_phase1b(const MsgPhase1B& m) {
   if (!coord_.active || coord_.phase1_done) return;
   if (m.round != coord_.round) return;
+  if (m.aview != view_.acceptor_view) return;  // promise under an old basis
   coord_.phase1_replies[m.acceptor] = m;
   maybe_finish_phase1();
 }
@@ -241,6 +248,7 @@ void RingHandler::start_instance(InstanceId instance, paxos::Value v) {
   msg->instance = instance;
   msg->value = v;
   msg->votes = 0;
+  msg->aview = view_.acceptor_view;
 
   paxos::LogRecord rec;
   rec.vround = coord_.round;
@@ -293,6 +301,7 @@ void RingHandler::retry_tick() {
       m->ring = ring_;
       m->round = coord_.round;
       m->floor = next_delivery_;
+      m->aview = view_.acceptor_view;
       host_.send(a, m);
     }
     return;
@@ -315,6 +324,7 @@ void RingHandler::retry_tick() {
     msg->instance = inst;
     msg->value = f.value;
     msg->votes = own_vote_bit();  // already logged at start_instance
+    msg->aview = view_.acceptor_view;
     forward(msg);
   });
   if (timed_out) {

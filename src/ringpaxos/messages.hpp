@@ -27,6 +27,8 @@ constexpr int kMsgRetransmitReq = 105;
 constexpr int kMsgRetransmitReply = 106;
 constexpr int kMsgTrim = 107;
 constexpr int kMsgBusy = 108;
+constexpr int kMsgLogSyncReq = 110;
+constexpr int kMsgLogSyncReply = 111;
 
 struct RingMessage : runtime::Message {
   GroupId ring = -1;
@@ -41,37 +43,45 @@ struct MsgProposal final : RingMessage {
 };
 
 /// Phase 1 pre-execution for all instances >= floor (open-ended range),
-/// sent point-to-point by a newly elected coordinator.
+/// sent point-to-point by a newly elected coordinator. `aview` fences the
+/// message to one acceptor view: votes/promises from different quorum bases
+/// must never mix (see coord/registry.hpp acceptor reconfiguration).
 struct MsgPhase1A final : RingMessage {
   Round round = 0;
   InstanceId floor = 0;
+  std::uint64_t aview = 0;
   int kind() const override { return kMsgPhase1A; }
-  std::size_t wire_size() const override { return 32; }
+  std::size_t wire_size() const override { return 40; }
 };
 
 struct MsgPhase1B final : RingMessage {
   Round round = 0;
   ProcessId acceptor = kNoProcess;
   InstanceId trimmed_to = 0;
+  std::uint64_t aview = 0;
   std::vector<paxos::Promise> promises;  // non-trimmed records >= floor
   int kind() const override { return kMsgPhase1B; }
   std::size_t wire_size() const override {
-    std::size_t s = 40;
+    std::size_t s = 48;
     for (const auto& p : promises) s += 32 + p.value.payload.size();
     return s;
   }
 };
 
 /// Combined Phase 2A/2B: the proposed value plus the votes gathered so far
-/// (bitmask over the configured acceptor list). Circulates the full ring so
-/// that every member receives the value.
+/// (bitmask over the configured acceptor list of acceptor view `aview`).
+/// Circulates the full ring so that every member receives the value.
+/// Acceptors vote only when `aview` matches their current view — vote bits
+/// are positional in the configured list, so a mask from one view is
+/// meaningless (unsafe) under another.
 struct MsgPhase2 final : RingMessage {
   Round round = 0;
   InstanceId instance = 0;
   paxos::Value value;
   std::uint64_t votes = 0;
+  std::uint64_t aview = 0;
   int kind() const override { return kMsgPhase2; }
-  std::size_t wire_size() const override { return 40 + value.wire_size(); }
+  std::size_t wire_size() const override { return 48 + value.wire_size(); }
 };
 
 /// Decision notification; small (references the value by instance — members
@@ -115,6 +125,36 @@ struct MsgTrim final : RingMessage {
   InstanceId upto = 0;
   int kind() const override { return kMsgTrim; }
   std::size_t wire_size() const override { return 24; }
+};
+
+/// Joining acceptor asks a sync source for its acceptor-log records starting
+/// at instance `from` (catch-up before activation; point-to-point). `seq` is
+/// the Registry's change sequence number, echoed in the reply so stale
+/// chunks from a restarted change attempt are dropped.
+struct MsgLogSyncReq final : RingMessage {
+  std::uint64_t seq = 0;
+  InstanceId from = 0;
+  int kind() const override { return kMsgLogSyncReq; }
+  std::size_t wire_size() const override { return 32; }
+};
+
+/// One chunk of a source acceptor's log: all records in [from, next), plus
+/// the source's promise floor and trim horizon (the joiner adopts the maxima
+/// across all sources). `done` marks the final chunk from this source.
+struct MsgLogSyncReply final : RingMessage {
+  std::uint64_t seq = 0;
+  InstanceId from = 0;  // echoed request cursor
+  Round promised = 0;
+  InstanceId trimmed_to = 0;
+  std::vector<paxos::Promise> records;
+  InstanceId next = 0;
+  bool done = false;
+  int kind() const override { return kMsgLogSyncReply; }
+  std::size_t wire_size() const override {
+    std::size_t s = 64;
+    for (const auto& p : records) s += 32 + p.value.payload.size();
+    return s;
+  }
 };
 
 /// Coordinator -> proposer pushback (point-to-point, off the ring): the

@@ -147,6 +147,13 @@ class RingHandler {
   /// Requests retransmission of [next_delivery, hi) immediately (recovery).
   void request_retransmission(InstanceId hi);
 
+  /// Registry tells this (future) acceptor to catch up from `sources`'
+  /// acceptor logs before the quorum basis switches (see
+  /// coord/registry.hpp acceptor reconfiguration).
+  void on_acceptor_prep(const coord::MsgAcceptorPrep& m);
+  /// True while an acceptor-log catch-up is in progress.
+  bool catching_up() const { return catching_up_; }
+
   // --- statistics (benches/tests) ---
   std::uint64_t decided_count() const { return decided_count_; }
   std::uint64_t skip_count() const { return skips_decided_; }
@@ -196,6 +203,10 @@ class RingHandler {
   void handle_decision(const MsgDecision& m);
   void handle_retransmit_req(ProcessId from, const MsgRetransmitReq& m);
   void handle_retransmit_reply(const MsgRetransmitReply& m);
+  void handle_log_sync_req(ProcessId from, const MsgLogSyncReq& m);
+  void handle_log_sync_reply(ProcessId from, const MsgLogSyncReply& m);
+  void apply_acceptor_view();
+  void catchup_request_next();
   void handle_trim(const MsgTrim& m);
   void handle_busy(const MsgBusy& m);
   void apply_busy(const ValueId& id, TimeNs retry_after);
@@ -251,6 +262,16 @@ class RingHandler {
   TimeNs last_progress_ = 0;
   bool retransmit_inflight_ = false;
   std::size_t retransmit_cursor_ = 0;  // rotates over remote acceptors
+
+  // Acceptor-log catch-up (joining acceptor): drains the UNION of all
+  // sources' logs sequentially, then reports acceptor_synced to the
+  // registry. Re-requests ride the proposal_retry tick; stale replies are
+  // dropped by (seq, from) matching.
+  bool catching_up_ = false;
+  std::uint64_t catchup_seq_ = 0;
+  std::vector<ProcessId> catchup_sources_;
+  std::size_t catchup_cursor_ = 0;   // index into catchup_sources_
+  InstanceId catchup_from_ = 0;      // next instance to request
 
   // Proposer state. The value-id sequence lives in the runtime's
   // crash-surviving stable storage: ValueId uniqueness must hold across process restarts, or

@@ -19,20 +19,14 @@ RingHandler::RingHandler(runtime::Node& host, coord::Registry& registry,
       params_(params),
       deliver_(std::move(deliver)) {
   MRP_CHECK(deliver_ != nullptr);
-  const coord::RingConfig& cfg = registry_.config(ring);
-  configured_acceptor_ = cfg.acceptors.count(host_.id()) > 0;
-  if (configured_acceptor_) {
-    configured_acceptor_index_ = static_cast<int>(std::distance(
-        cfg.acceptors.begin(), cfg.acceptors.find(host_.id())));
-    MRP_CHECK_MSG(cfg.acceptors.size() <= 64, "vote mask holds 64 acceptors");
-    log_ = std::make_unique<storage::AcceptorLog>(
-        host_.rt(), ring_, params_.write_mode, params_.disk_index);
-  }
   next_seq_ = &host_.rt().stable<std::uint64_t>(
       "ringpaxos/" + std::to_string(ring_) + "/next_seq");
 
   // Read the cached view synchronously (ZK client cache); watch for changes.
+  // The acceptor role derives from the view, not the static config: the
+  // quorum basis is reconfigurable (coord/registry.hpp).
   view_ = registry_.current_view(ring_);
+  apply_acceptor_view();
   registry_.watch_ring(ring_, host_.id());
   if (view_.coordinator == host_.id()) become_coordinator();
 
@@ -64,6 +58,25 @@ bool RingHandler::is_coordinator() const {
 }
 
 bool RingHandler::is_acceptor() const { return configured_acceptor_; }
+
+void RingHandler::apply_acceptor_view() {
+  const std::vector<ProcessId>& basis = view_.configured_acceptors;
+  auto it = std::find(basis.begin(), basis.end(), host_.id());
+  configured_acceptor_ = it != basis.end();
+  if (configured_acceptor_) {
+    configured_acceptor_index_ =
+        static_cast<int>(std::distance(basis.begin(), it));
+    MRP_CHECK_MSG(basis.size() <= 64, "vote mask holds 64 acceptors");
+    if (!log_) {
+      log_ = std::make_unique<storage::AcceptorLog>(
+          host_.rt(), ring_, params_.write_mode, params_.disk_index);
+    }
+  } else {
+    configured_acceptor_index_ = -1;
+    // A demoted acceptor keeps its log: it still serves retransmission and
+    // log-sync requests for everything it voted on under the old basis.
+  }
+}
 
 int RingHandler::acceptor_bit() const { return configured_acceptor_index_; }
 
@@ -129,6 +142,7 @@ void RingHandler::resend_own(OwnProposal& p) {
 }
 
 void RingHandler::proposal_retry_tick() {
+  if (catching_up_) catchup_request_next();  // re-request lost chunks
   const TimeNs now = host_.now();
   for (auto& [id, p] : own_proposals_) {
     if (now - p.sent_at < params_.proposal_retry) continue;
@@ -166,6 +180,12 @@ void RingHandler::handle(ProcessId from, const runtime::Message& m) {
       return;
     case kMsgBusy:
       handle_busy(runtime::msg_cast<MsgBusy>(m));
+      return;
+    case kMsgLogSyncReq:
+      handle_log_sync_req(from, runtime::msg_cast<MsgLogSyncReq>(m));
+      return;
+    case kMsgLogSyncReply:
+      handle_log_sync_reply(from, runtime::msg_cast<MsgLogSyncReply>(m));
       return;
     default:
       MRP_CHECK_MSG(false, "unknown ring message kind");
@@ -218,7 +238,20 @@ void RingHandler::on_view(const coord::RingView& v) {
   MRP_CHECK(v.ring == ring_);
   if (detached_) return;
   if (v.epoch < view_.epoch) return;  // stale notification
+  const bool basis_changed = v.acceptor_view != view_.acceptor_view;
   view_ = v;
+  if (basis_changed) {
+    apply_acceptor_view();
+    if (catching_up_ && configured_acceptor_) {
+      // Activation observed: this process is part of the new quorum basis.
+      catching_up_ = false;
+      catchup_sources_.clear();
+    }
+    // Any sitting coordinator must re-run Phase 1 under the new basis (its
+    // vote masks and quorum size changed); resigning here lets the normal
+    // branch below re-elect it with the new view's round.
+    if (coord_.active) resign_coordinator();
+  }
   if (view_.coordinator == host_.id()) {
     if (!coord_.active) become_coordinator();
   } else if (coord_.active) {
@@ -256,7 +289,11 @@ void RingHandler::handle_phase2(ProcessId /*from*/, const MsgPhase2& m) {
     if (coord_.active) coordinator_on_decision(m.instance, m.value);
   }
 
-  if (configured_acceptor_ && log_ && m.round >= log_->promised()) {
+  // Vote only under the acceptor view the mask was built for: vote bits are
+  // positional in the configured list, so a mask minted under another basis
+  // must circulate (for learning) but gather no votes here.
+  if (configured_acceptor_ && log_ && m.aview == view_.acceptor_view &&
+      m.round >= log_->promised()) {
     if (m.round > log_->promised()) log_->promise(m.round, nullptr);
     MsgPhase2 out = m;
     out.ttl = m.ttl - 1;
@@ -285,6 +322,10 @@ void RingHandler::handle_phase2(ProcessId /*from*/, const MsgPhase2& m) {
 }
 
 void RingHandler::phase2_accepted(MsgPhase2 out) {
+  // Fence at fire time: the durable-write completion may land after a view
+  // change demoted this acceptor or switched the basis — its vote bit would
+  // be positioned for the wrong acceptor list.
+  if (out.aview != view_.acceptor_view || !configured_acceptor_) return;
   const std::uint64_t before = out.votes;
   out.votes |= own_vote_bit();
 
@@ -512,6 +553,109 @@ void RingHandler::handle_retransmit_reply(const MsgRetransmitReply& m) {
   if (pending_decision_hint_ > next_delivery_ && next_delivery_ > before) {
     request_retransmission(pending_decision_hint_);
   }
+}
+
+// --- acceptor-log catch-up (joining acceptor) -------------------------------
+
+void RingHandler::on_acceptor_prep(const coord::MsgAcceptorPrep& m) {
+  if (detached_ || m.ring != ring_) return;
+  if (m.seq <= catchup_seq_) return;  // re-sent or stale prep: dedup by seq
+  catching_up_ = true;
+  catchup_seq_ = m.seq;
+  catchup_sources_ = m.sources;
+  catchup_cursor_ = 0;
+  catchup_from_ = 0;
+  // The joiner starts logging before activation so records installed during
+  // catch-up are durable under the same slot the acceptor role will use.
+  if (!log_) {
+    log_ = std::make_unique<storage::AcceptorLog>(
+        host_.rt(), ring_, params_.write_mode, params_.disk_index);
+  }
+  catchup_request_next();
+}
+
+void RingHandler::catchup_request_next() {
+  if (!catching_up_) return;
+  if (catchup_cursor_ >= catchup_sources_.size()) {
+    // Union drained. Tell the registry; activation arrives as a view change
+    // with a bumped acceptor_view (the call is idempotent — re-confirming
+    // while the change is no longer pending is ignored).
+    registry_.acceptor_synced(ring_, host_.id(), catchup_seq_);
+    return;
+  }
+  auto req = std::make_shared<MsgLogSyncReq>();
+  req->ring = ring_;
+  req->seq = catchup_seq_;
+  req->from = catchup_from_;
+  host_.send(catchup_sources_[catchup_cursor_], req);
+}
+
+void RingHandler::handle_log_sync_req(ProcessId from, const MsgLogSyncReq& m) {
+  if (!log_) return;  // never held this ring's acceptor log
+  auto reply = std::make_shared<MsgLogSyncReply>();
+  reply->ring = ring_;
+  reply->seq = m.seq;
+  reply->from = m.from;
+  reply->promised = log_->promised();
+  reply->trimmed_to = log_->trimmed_to();
+  const InstanceId hi =
+      log_->highest_instance() ? *log_->highest_instance() + 1 : 0;
+  const InstanceId chunk_hi = std::min(
+      hi, m.from + static_cast<InstanceId>(params_.max_retransmit_instances));
+  std::size_t bytes = 0;
+  for (auto& [inst, rec] : log_->range(m.from, chunk_hi)) {
+    paxos::Promise p;
+    p.instance = inst;
+    p.vround = rec.vround;
+    p.value = rec.value;
+    p.decided = rec.decided;
+    bytes += rec.value.payload.size() + 40;
+    reply->records.push_back(std::move(p));
+  }
+  reply->next = chunk_hi;
+  reply->done = chunk_hi >= hi;
+  // Serving the log competes with ring duties, same as retransmission.
+  if (params_.retransmit_cpu_ns_per_byte > 0) {
+    host_.charge(static_cast<TimeNs>(params_.retransmit_cpu_ns_per_byte *
+                                     static_cast<double>(bytes)));
+  }
+  host_.send(from, reply);
+}
+
+void RingHandler::handle_log_sync_reply(ProcessId from,
+                                        const MsgLogSyncReply& m) {
+  // Accept only the chunk we are waiting for: right change attempt (seq),
+  // right source (a stale duplicate from the previous source could carry
+  // the same cursor — e.g. 0 — and its `done` would skip this source), and
+  // right cursor position.
+  if (!catching_up_ || m.seq != catchup_seq_ ||
+      catchup_cursor_ >= catchup_sources_.size() ||
+      from != catchup_sources_[catchup_cursor_] || m.from != catchup_from_) {
+    return;
+  }
+  MRP_CHECK(log_ != nullptr);
+  for (const paxos::Promise& p : m.records) {
+    paxos::LogRecord rec;
+    rec.vround = p.vround;
+    rec.value = p.value;
+    // accept() keeps the higher-vround record, so draining several sources
+    // converges on each instance's latest vote; memory-mode install (no
+    // completion needed — activation is gated on the registry round-trip).
+    log_->accept(p.instance, rec, nullptr);
+    if (p.decided) log_->mark_decided(p.instance);
+  }
+  // Inherit the strictest promise floor and trim horizon seen anywhere:
+  // the joiner must not promise below rounds any source already promised,
+  // nor serve instances some source already trimmed.
+  if (m.promised > log_->promised()) log_->promise(m.promised, nullptr);
+  if (m.trimmed_to > log_->trimmed_to()) log_->trim(m.trimmed_to);
+  if (m.done) {
+    ++catchup_cursor_;
+    catchup_from_ = 0;  // next source: drain from its trim horizon up
+  } else {
+    catchup_from_ = m.next;
+  }
+  catchup_request_next();
 }
 
 void RingHandler::handle_trim(const MsgTrim& m) {

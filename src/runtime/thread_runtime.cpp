@@ -548,6 +548,7 @@ void ThreadCluster::add_remote(ProcessId pid, std::uint16_t port) {
 
 std::uint16_t ThreadCluster::port_of(ProcessId pid) const {
   if (auto it = locals_.find(pid); it != locals_.end()) {
+    if (it->second->killed_.load(std::memory_order_acquire)) return 0;
     return it->second->port();
   }
   if (auto it = remote_ports_.find(pid); it != remote_ports_.end()) {
@@ -557,7 +558,10 @@ std::uint16_t ThreadCluster::port_of(ProcessId pid) const {
 }
 
 bool ThreadCluster::has_peer(ProcessId pid) const {
-  return locals_.count(pid) != 0 || remote_ports_.count(pid) != 0;
+  if (auto it = locals_.find(pid); it != locals_.end()) {
+    return !it->second->killed_.load(std::memory_order_acquire);
+  }
+  return remote_ports_.count(pid) != 0;
 }
 
 void ThreadCluster::start() {
@@ -582,6 +586,18 @@ void ThreadCluster::stop() {
   for (auto& [pid, rt] : locals_) {
     if (rt->thread_.joinable()) rt->thread_.join();
   }
+}
+
+void ThreadCluster::stop_local(ProcessId pid) {
+  MRP_CHECK_MSG(started_ && !stopped_, "stop_local outside start/stop window");
+  auto it = locals_.find(pid);
+  MRP_CHECK_MSG(it != locals_.end(), "stop_local on unknown/remote process");
+  ThreadRuntime& rt = *it->second;
+  // Mark dead first so peers stop connecting while the loop winds down.
+  rt.killed_.store(true, std::memory_order_release);
+  rt.stop_.store(true, std::memory_order_release);
+  rt.wake();
+  if (rt.thread_.joinable()) rt.thread_.join();
 }
 
 void ThreadCluster::call(ProcessId pid, const std::function<void(Node*)>& fn) {

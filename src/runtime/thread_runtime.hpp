@@ -141,6 +141,10 @@ class ThreadRuntime final : public Runtime {
   std::unique_ptr<Node> node_;  // loop thread only
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  // Killed via ThreadCluster::stop_local: the loop is joined and the peer
+  // reads as dead (has_peer/port_of) without mutating the cluster maps, so
+  // concurrent readers on other loop threads stay safe.
+  std::atomic<bool> killed_{false};
 
   // Cross-thread staging (sends/timers/posts from any thread).
   std::mutex mu_;
@@ -196,6 +200,11 @@ class ThreadCluster {
   /// Stops every loop and joins (idempotent). Nodes are destroyed on their
   /// own loop threads.
   void stop();
+
+  /// Permanently kills one local process mid-run (crash injection for
+  /// self-healing tests): joins its loop thread and makes it read as dead
+  /// to every peer (sends drop, peer_alive goes false). Irreversible.
+  void stop_local(ProcessId pid);
 
   /// Runs fn on pid's loop thread, blocking until it completed — the way
   /// harness code inspects or drives a node after start() (fn receives the

@@ -20,11 +20,14 @@ class Dummy : public sim::Process {
     } else if (m.kind() == kMsgSubChange) {
       const auto& s = sim::msg_cast<MsgSubChange>(m);
       subs.push_back(s);
+    } else if (m.kind() == kMsgAcceptorPrep) {
+      preps.push_back(sim::msg_cast<MsgAcceptorPrep>(m));
     }
   }
   std::vector<RingView> views;
   std::vector<std::pair<std::string, SchemaEntry>> schemas;
   std::vector<MsgSubChange> subs;
+  std::vector<MsgAcceptorPrep> preps;
 };
 
 class RegistryTest : public ::testing::Test {
@@ -249,6 +252,184 @@ TEST_F(RegistryTest, DynamicMemberJoinsRingOrderAndView) {
   reg_.remove_ring_member(0, 4);
   EXPECT_FALSE(reg_.current_view(0).contains(4));
   EXPECT_EQ(reg_.config(0).order.size(), 3u);
+}
+
+// --- acceptor-set reconfiguration -------------------------------------------
+// The Dummy process cannot run the ring-level catch-up protocol, so these
+// tests drive the registry's half directly: observe the MsgAcceptorPrep,
+// then confirm with acceptor_synced as the joiner would.
+
+TEST_F(RegistryTest, InitialViewCarriesAcceptorBasis) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  const RingView& v = reg_.current_view(0);
+  EXPECT_EQ(v.acceptor_view, 1u);
+  EXPECT_EQ(v.configured_acceptors, (std::vector<ProcessId>{1, 2, 3}));
+}
+
+TEST_F(RegistryTest, AddAcceptorCatchesUpBeforeActivation) {
+  spawn({1, 2, 3, 4});
+  reg_.create_ring(config3());
+  const std::uint64_t aview_before = reg_.acceptor_view(0);
+
+  reg_.add_acceptor(0, 4);
+  env_.sim().run_for(from_millis(10));
+  // Joined as a member immediately, but the quorum basis is untouched until
+  // the catch-up completes.
+  EXPECT_TRUE(reg_.current_view(0).contains(4));
+  EXPECT_EQ(reg_.current_view(0).total_acceptors, 3u);
+  EXPECT_EQ(reg_.acceptor_view(0), aview_before);
+  EXPECT_TRUE(reg_.change_pending(0));
+
+  auto* joiner = env_.process_as<Dummy>(4);
+  ASSERT_GE(joiner->preps.size(), 1u);
+  const MsgAcceptorPrep& prep = joiner->preps.back();
+  EXPECT_EQ(prep.ring, 0);
+  EXPECT_EQ(prep.sources, (std::vector<ProcessId>{1, 2, 3}));
+
+  reg_.acceptor_synced(0, 4, prep.seq);
+  const RingView& v = reg_.current_view(0);
+  EXPECT_FALSE(reg_.change_pending(0));
+  EXPECT_EQ(v.total_acceptors, 4u);
+  EXPECT_TRUE(v.is_acceptor(4));
+  EXPECT_GT(v.acceptor_view, aview_before);
+  EXPECT_EQ(v.configured_acceptors, (std::vector<ProcessId>{1, 2, 3, 4}));
+}
+
+TEST_F(RegistryTest, RemoveAcceptorActivatesImmediately) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  const std::uint64_t aview_before = reg_.acceptor_view(0);
+  const std::uint64_t epoch_before = reg_.current_view(0).epoch;
+
+  // Single-step shrink is intersection-safe: no catch-up needed.
+  reg_.remove_acceptor(0, 3);
+  const RingView& v = reg_.current_view(0);
+  EXPECT_FALSE(reg_.change_pending(0));
+  EXPECT_EQ(v.total_acceptors, 2u);
+  EXPECT_FALSE(v.is_acceptor(3));
+  EXPECT_TRUE(v.contains(3));  // demoted to learner, still a member
+  EXPECT_GT(v.acceptor_view, aview_before);
+  EXPECT_GT(v.epoch, epoch_before);
+}
+
+TEST_F(RegistryTest, ReplaceAcceptorSyncsFromAliveUnionThenDropsDead) {
+  spawn({1, 2, 3, 4});
+  reg_.create_ring(config3());
+  env_.crash(3);
+  env_.sim().run_for(from_millis(120));
+
+  reg_.replace_acceptor(0, 3, 4);
+  env_.sim().run_for(from_millis(10));
+  EXPECT_TRUE(reg_.change_pending(0));
+  auto* joiner = env_.process_as<Dummy>(4);
+  ASSERT_GE(joiner->preps.size(), 1u);
+  // The union excludes the dead acceptor and the joiner itself.
+  EXPECT_EQ(joiner->preps.back().sources, (std::vector<ProcessId>{1, 2}));
+
+  reg_.acceptor_synced(0, 4, joiner->preps.back().seq);
+  const RingView& v = reg_.current_view(0);
+  EXPECT_EQ(v.total_acceptors, 3u);
+  EXPECT_TRUE(v.is_acceptor(4));
+  EXPECT_FALSE(v.contains(3));  // replaced acceptor leaves the ring entirely
+  EXPECT_EQ(v.configured_acceptors, (std::vector<ProcessId>{1, 2, 4}));
+}
+
+TEST_F(RegistryTest, JoinerDeathAbortsPendingChange) {
+  spawn({1, 2, 3, 4});
+  reg_.create_ring(config3());
+  reg_.add_acceptor(0, 4);
+  EXPECT_TRUE(reg_.change_pending(0));
+  env_.crash(4);
+  env_.sim().run_for(from_millis(200));
+  EXPECT_FALSE(reg_.change_pending(0));
+  EXPECT_EQ(reg_.current_view(0).total_acceptors, 3u);
+}
+
+TEST_F(RegistryTest, SourceDeathRestartsChangeWithFreshSources) {
+  spawn({1, 2, 3, 4});
+  reg_.create_ring(config3());
+  reg_.add_acceptor(0, 4);
+  env_.sim().run_for(from_millis(10));
+  auto* joiner = env_.process_as<Dummy>(4);
+  ASSERT_GE(joiner->preps.size(), 1u);
+  const std::uint64_t seq1 = joiner->preps.back().seq;
+
+  env_.crash(2);
+  env_.sim().run_for(from_millis(200));
+  EXPECT_TRUE(reg_.change_pending(0));
+  const MsgAcceptorPrep& prep2 = joiner->preps.back();
+  EXPECT_GT(prep2.seq, seq1);
+  EXPECT_EQ(prep2.sources, (std::vector<ProcessId>{1, 3}));
+
+  // A stale confirmation (from the aborted attempt) must be ignored.
+  reg_.acceptor_synced(0, 4, seq1);
+  EXPECT_TRUE(reg_.change_pending(0));
+  reg_.acceptor_synced(0, 4, prep2.seq);
+  EXPECT_FALSE(reg_.change_pending(0));
+  EXPECT_EQ(reg_.current_view(0).total_acceptors, 4u);
+}
+
+TEST_F(RegistryTest, RemoveDemotesStickyCoordinator) {
+  spawn({1, 2, 3});
+  reg_.create_ring(config3());
+  EXPECT_EQ(reg_.current_view(0).coordinator, 1);
+  reg_.remove_acceptor(0, 1);
+  // The sticky coordinator left the quorum basis: leadership must move.
+  EXPECT_EQ(reg_.current_view(0).coordinator, 2);
+}
+
+TEST_F(RegistryTest, AutoHealDraftsStandbyAfterSuspectGrace) {
+  spawn({1, 2, 3, 4});
+  RingConfig c = config3();
+  c.fd.auto_heal = true;
+  c.fd.suspect_grace = 150 * kMillisecond;
+  reg_.create_ring(c);
+  reg_.add_ring_member(0, 4);  // standby rides along as a learner
+  reg_.add_standby(0, 4);
+
+  env_.crash(3);
+  env_.sim().run_for(from_millis(100));
+  EXPECT_FALSE(reg_.change_pending(0)) << "drafted before the grace elapsed";
+  env_.sim().run_for(from_millis(200));
+  EXPECT_TRUE(reg_.change_pending(0));
+  EXPECT_TRUE(reg_.standbys(0).empty());  // draftee left the pool
+
+  auto* joiner = env_.process_as<Dummy>(4);
+  ASSERT_GE(joiner->preps.size(), 1u);
+  reg_.acceptor_synced(0, 4, joiner->preps.back().seq);
+  EXPECT_EQ(reg_.heal_count(), 1u);
+  const RingView& v = reg_.current_view(0);
+  EXPECT_TRUE(v.is_acceptor(4));
+  EXPECT_FALSE(v.contains(3));
+}
+
+TEST_F(RegistryTest, RecoveryWithinGraceCancelsSuspicion) {
+  spawn({1, 2, 3, 4});
+  RingConfig c = config3();
+  c.fd.auto_heal = true;
+  c.fd.suspect_grace = 300 * kMillisecond;
+  reg_.create_ring(c);
+  reg_.add_standby(0, 4);
+
+  env_.crash(3);
+  env_.sim().run_for(from_millis(150));
+  env_.recover(3);
+  env_.sim().run_for(from_millis(400));
+  EXPECT_FALSE(reg_.change_pending(0));
+  EXPECT_EQ(reg_.standbys(0), std::vector<ProcessId>{4});
+  EXPECT_TRUE(reg_.current_view(0).is_acceptor(3));
+}
+
+TEST_F(RegistryTest, PerRingFdIntervalWithJitterStillDetectsCrashes) {
+  spawn({1, 2, 3});
+  RingConfig c = config3();
+  c.fd.interval = 20 * kMillisecond;  // faster than the registry-wide 50ms
+  c.fd.jitter = 0.5;                  // deterministic decoherence
+  reg_.create_ring(c);
+  env_.crash(2);
+  env_.sim().run_for(from_millis(60));
+  EXPECT_FALSE(reg_.current_view(0).contains(2));
 }
 
 TEST_F(RegistryTest, UnwatchStopsNotifications) {

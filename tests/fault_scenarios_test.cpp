@@ -28,6 +28,7 @@
 #include "mrpstore/client.hpp"
 #include "mrpstore/elastic.hpp"
 #include "mrpstore/store.hpp"
+#include "multiring/node.hpp"
 #include "sim/env.hpp"
 #include "smr/client.hpp"
 #include "smr/replica.hpp"
@@ -918,6 +919,129 @@ TEST(FaultScenarios, CrossPartitionTransfersUnderCrashAndChaos) {
   EXPECT_EQ(r1.report.trace.size(), 4u);
   EXPECT_GT(r1.completions, 100u);
   EXPECT_EQ(r1.completions, r2.completions);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 11: permanent acceptor loss with automatic self-healing. One
+// acceptor of a three-acceptor ring is killed for good (no restart) while a
+// standby rides along as a learner. The registry's failure detector must
+// suspect the dead acceptor past the grace period, draft the standby, sync
+// it from the union of the surviving acceptors' logs and activate it — all
+// while the ring keeps deciding on the surviving majority. The heal itself
+// must be deterministic: two runs with the same seed produce bit-identical
+// traces and state digests.
+
+class HealProbeNode final : public multiring::MultiRingNode {
+ public:
+  using Deliveries = std::map<ProcessId, std::vector<std::string>>;
+
+  HealProbeNode(sim::Env& env, ProcessId id, coord::Registry* reg,
+                multiring::NodeConfig cfg, std::shared_ptr<Deliveries> log)
+      : MultiRingNode(env, id, reg, std::move(cfg)) {
+    set_deliver([this, log](GroupId, InstanceId, const Payload& p) {
+      (*log)[this->id()].push_back(p.as_string());
+    });
+  }
+};
+
+struct HealScenarioResult {
+  fault::ScenarioReport report;
+  std::uint64_t heal_count = 0;
+  std::uint64_t deliveries_at_survivor = 0;
+};
+
+HealScenarioResult scenario_acceptor_selfheal(std::uint64_t seed) {
+  sim::Env env(seed);
+  coord::Registry registry(env, 50 * kMillisecond);
+
+  coord::RingConfig cfg;
+  cfg.ring = 0;
+  cfg.order = {1, 2, 3, 4};
+  cfg.acceptors = {1, 2, 3};
+  cfg.standbys = {4};  // learner from birth: already caught up on delivery
+  cfg.fd.auto_heal = true;
+  cfg.fd.suspect_grace = 400 * kMillisecond;
+  cfg.fd.jitter = 0.25;  // jittered suspicion must still replay bit-identically
+  registry.create_ring(cfg);
+
+  auto log = std::make_shared<HealProbeNode::Deliveries>();
+  multiring::NodeConfig node_cfg;
+  node_cfg.rings.push_back(multiring::RingSub{0, {}, true});
+  for (ProcessId i : cfg.order) {
+    env.spawn<HealProbeNode>(i, &registry, node_cfg, log);
+  }
+
+  // Deterministic open-loop workload: nodes 1 and 3 (both survive) keep
+  // proposing across the kill and the heal.
+  int n = 0;
+  for (TimeNs t = 100 * kMillisecond; t < 9 * kSecond;
+       t += 10 * kMillisecond) {
+    env.sim().schedule_at(t, [&env, t, v = n++] {
+      const ProcessId via = (t / (10 * kMillisecond)) % 3 == 0 ? 3 : 1;
+      env.process_as<HealProbeNode>(via)->multicast(
+          0, Payload("h" + std::to_string(v)));
+    });
+  }
+
+  // Kill acceptor 2 permanently — no restart event; recovery must come from
+  // the standby pool, not the victim.
+  fault::FaultPlan plan;
+  plan.crash(3 * kSecond, 2);
+
+  fault::ScenarioRunner runner(env, std::move(plan));
+  runner.watch_group("ring0", {1, 2, 3, 4}, [log](ProcessId pid) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::string& s : (*log)[pid]) {
+      for (const char c : s) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+      }
+      h *= 1099511628211ULL;
+    }
+    return h;
+  });
+  runner.watch_progress("survivor-delivery",
+                        [log] { return (*log)[1].size(); });
+  runner.add_invariant(
+      "auto-heal-completed",
+      [&env, &registry]() -> std::optional<std::string> {
+        if (registry.heal_count() != 1) {
+          return "expected exactly one heal, saw " +
+                 std::to_string(registry.heal_count());
+        }
+        const coord::RingView& v = registry.current_view(0);
+        if (v.configured_acceptors != std::vector<ProcessId>{1, 3, 4}) {
+          return "healed acceptor basis is not {1,3,4}";
+        }
+        if (v.contains(2)) return "dead acceptor 2 still a ring member";
+        if (!env.process_as<HealProbeNode>(4)->handler(0)->is_acceptor()) {
+          return "drafted standby 4 never became an acceptor";
+        }
+        if (!registry.standbys(0).empty()) {
+          return "standby pool not consumed by the draft";
+        }
+        return std::nullopt;
+      });
+
+  HealScenarioResult out;
+  out.report = runner.run(10 * kSecond, 5 * kSecond);
+  out.heal_count = registry.heal_count();
+  out.deliveries_at_survivor = (*log)[1].size();
+  return out;
+}
+
+TEST(FaultScenarios, PermanentAcceptorLossSelfHealsDeterministically) {
+  auto r1 = scenario_acceptor_selfheal(7012);
+  auto r2 = scenario_acceptor_selfheal(7012);
+  EXPECT_TRUE(r1.report.ok()) << r1.report.violations_text();
+  EXPECT_EQ(r1.report.trace, r2.report.trace)
+      << "heal schedule not reproducible";
+  EXPECT_EQ(r1.report.state_digest, r2.report.state_digest)
+      << "same-seed self-heal diverged";
+  ASSERT_EQ(r1.report.trace.size(), 1u);  // the permanent crash, nothing else
+  EXPECT_EQ(r1.heal_count, 1u);
+  EXPECT_GT(r1.deliveries_at_survivor, 100u);
+  EXPECT_EQ(r1.deliveries_at_survivor, r2.deliveries_at_survivor);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 // cross-process message round-trips through net/wire encode/decode).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -232,6 +233,54 @@ TEST_P(RuntimeConformanceTest, CancelAfterFireIsNoOp) {
   ASSERT_TRUE(b().wait([this] { return b().shared.count() >= 1; }, kBudget));
   b().run_on(1, [timer](runtime::Node& n) { n.rt().cancel(*timer); });
   EXPECT_EQ(b().shared.snapshot(), (std::vector<std::string>{"fired"}));
+}
+
+TEST_P(RuntimeConformanceTest, CancelRacingViewChangeNeverFiresStaleTimer) {
+  // The acceptor-reconfiguration pattern: a view change cancels the
+  // coordinator's retry timer from the node's execution context and arms a
+  // fresh one under the new epoch. Even when the cancellation lands exactly
+  // at the stale timer's deadline (a real race on the thread backend, where
+  // the loop may already have popped the entry), the stale callback must
+  // never run after the epoch marker — late firings would retry Phase 1
+  // under a dead acceptor view. Even rounds cancel before the deadline,
+  // odd rounds after it, so both orders are pinned on the sim backend too.
+  b().add(1);
+  b().start();
+  constexpr int kRounds = 30;
+  for (int i = 0; i < kRounds; ++i) {
+    auto victim = std::make_shared<runtime::TimerId>(runtime::kNoTimer);
+    b().run_on(1, [this, victim, i](runtime::Node& n) {
+      *victim = n.rt().schedule(1 * kMillisecond, [this, i] {
+        b().shared.record("stale" + std::to_string(i));
+      });
+    });
+    if (i % 2 == 1) b().wait([] { return false; }, 2 * kMillisecond);
+    b().run_on(1, [this, victim, i](runtime::Node& n) {
+      n.rt().cancel(*victim);  // the view change
+      n.rt().after(0, [this, i] {
+        b().shared.record("epoch" + std::to_string(i));
+      });
+    });
+  }
+  auto epochs_done = [this] {
+    const auto events = b().shared.snapshot();
+    std::size_t epochs = 0;
+    for (const auto& e : events) epochs += e.rfind("epoch", 0) == 0;
+    return epochs >= kRounds;
+  };
+  ASSERT_TRUE(b().wait(epochs_done, kBudget));
+  const auto events = b().shared.snapshot();
+  for (int i = 0; i < kRounds; ++i) {
+    const auto stale = std::find(events.begin(), events.end(),
+                                 "stale" + std::to_string(i));
+    const auto epoch = std::find(events.begin(), events.end(),
+                                 "epoch" + std::to_string(i));
+    ASSERT_NE(epoch, events.end()) << "epoch marker " << i << " lost";
+    if (stale != events.end()) {
+      EXPECT_LT(stale - events.begin(), epoch - events.begin())
+          << "stale timer " << i << " fired after its cancelling view change";
+    }
+  }
 }
 
 TEST_P(RuntimeConformanceTest, EveryReArmsUntilGateCloses) {

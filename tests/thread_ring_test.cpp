@@ -234,6 +234,104 @@ TEST_F(ThreadRingTest, AtomicMultiGroupOverLoopbackTcp) {
   cluster.stop();
 }
 
+TEST_F(ThreadRingTest, AutoHealAfterHardKillOverLoopbackTcp) {
+  // The full self-healing sequence on real threads + sockets: one acceptor's
+  // loop thread is permanently killed mid-load (ThreadCluster::stop_local —
+  // its peers see a dead socket, the registry's failure detector sees a dead
+  // heartbeat), the registry drafts the standby, the standby catches up from
+  // the union of the surviving acceptors' logs over TCP and activates, and
+  // the closed loop keeps completing increments exactly once throughout.
+  runtime::ThreadCluster cluster(cluster_options());
+  coord::Registry registry(cluster.add_oracle(coord::kRegistrySender),
+                           50 * kMillisecond);
+
+  coord::RingConfig cfg;
+  cfg.ring = kRing;
+  cfg.order = {1, 2, 3, 4};
+  cfg.acceptors = {1, 2, 3};
+  cfg.standbys = {4};  // member + learner from birth, acceptor on demand
+  cfg.fd.auto_heal = true;
+  cfg.fd.suspect_grace = 300 * kMillisecond;
+  registry.create_ring(cfg);
+
+  multiring::NodeConfig node_cfg;
+  node_cfg.rings.push_back(multiring::RingSub{kRing, {}, true});
+  for (ProcessId r : {1, 2, 3, 4}) {
+    cluster.add_local(r, [&registry, node_cfg](runtime::Runtime& rt) {
+      return std::make_unique<smr::ReplicaNode>(
+          rt, &registry, node_cfg,
+          smr::StateMachineFactory([](runtime::Runtime&, ProcessId) {
+            return std::make_unique<CounterSm>();
+          }),
+          smr::ReplicaOptions{});
+    });
+  }
+
+  static constexpr int kTarget = 80;
+  std::atomic<int> done{0};
+  cluster.add_local(kClient, [&done](runtime::Runtime& rt) {
+    smr::ClientNode::Options opts;
+    opts.workers = 2;
+    opts.retry_timeout = kSecond;
+    return std::make_unique<smr::ClientNode>(
+        rt, opts,
+        smr::ClientNode::NextFn(
+            [n = 0](std::uint32_t) mutable -> std::optional<smr::Request> {
+              if (n >= kTarget) return std::nullopt;
+              ++n;
+              // Address the replicas that stay up; 2 serves as a pure
+              // acceptor until it is killed.
+              return smr::Request::single(kRing, {1, 3, 4}, to_bytes("inc"));
+            }),
+        smr::ClientNode::DoneFn(
+            [&done](const smr::Completion&) { done.fetch_add(1); }));
+  });
+
+  cluster.start();
+  ASSERT_TRUE(wait_for([&done] { return done.load() >= 20; }, 60))
+      << "no progress before the kill";
+
+  cluster.stop_local(2);  // permanent: joined, peers see it dead
+
+  ASSERT_TRUE(wait_for([&registry] { return registry.heal_count() >= 1; }, 30))
+      << "registry never drafted the standby after the hard kill";
+  ASSERT_TRUE(wait_for([&done] { return done.load() >= kTarget; }, 60))
+      << "closed loop stalled across the heal: " << done.load() << "/"
+      << kTarget;
+
+  // The drafted standby is a live acceptor of the healed basis...
+  const coord::RingView view = registry.current_view(kRing);
+  EXPECT_EQ(view.configured_acceptors, (std::vector<ProcessId>{1, 3, 4}));
+  EXPECT_FALSE(view.contains(2));
+  cluster.call(4, [](runtime::Node* n) {
+    auto& replica = dynamic_cast<smr::ReplicaNode&>(*n);
+    EXPECT_TRUE(replica.handler(kRing)->is_acceptor())
+        << "standby never activated";
+  });
+  // ...and execution stayed exactly-once through kill + view change: every
+  // survivor converges to exactly the completion count.
+  for (ProcessId r : {1, 3, 4}) {
+    ASSERT_TRUE(wait_for(
+        [&cluster, r] {
+          std::int64_t v = 0;
+          cluster.call(r, [&v](runtime::Node* n) {
+            auto& replica = dynamic_cast<smr::ReplicaNode&>(*n);
+            v = dynamic_cast<CounterSm&>(replica.state_machine()).value();
+          });
+          return v >= kTarget;
+        },
+        30))
+        << "replica " << r << " did not converge after the heal";
+    cluster.call(r, [r](runtime::Node* n) {
+      auto& replica = dynamic_cast<smr::ReplicaNode&>(*n);
+      EXPECT_EQ(dynamic_cast<CounterSm&>(replica.state_machine()).value(),
+                kTarget)
+          << "replica " << r << " over-executed across the heal";
+    });
+  }
+  cluster.stop();
+}
+
 TEST_F(ThreadRingTest, MultiWorkerLoadMakesProgress) {
   runtime::ThreadCluster cluster(cluster_options());
   coord::Registry registry(cluster.add_oracle(coord::kRegistrySender),
