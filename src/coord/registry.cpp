@@ -171,18 +171,22 @@ void Registry::remove_ring_member(GroupId ring, ProcessId p) {
 // --- acceptor-set reconfiguration -------------------------------------------
 
 bool Registry::acceptor_alive_majority_safe(const RingState& rs,
-                                            ProcessId /*removing*/) const {
-  // Every old-basis majority must intersect the alive acceptor set: then
-  // for every decided instance at least one alive acceptor holds its
-  // record, so the union of the alive logs covers all decided state.
-  // |alive| + quorum > n  <=>  alive >= n - quorum + 1.
+                                            ProcessId removing) const {
+  // Every old-basis majority must intersect the catch-up source set: then
+  // for every decided instance at least one source holds its record, so
+  // the union of the source logs covers all decided state. The sources are
+  // the alive acceptors MINUS the one being removed (begin_change excludes
+  // it even when it is still alive — e.g. a planned decommission — because
+  // it leaves the basis at activation), so `removing` must not be counted.
+  // |sources| + quorum > n  <=>  sources >= n - quorum + 1.
   const std::size_t n = rs.config.acceptors.size();
   const std::size_t quorum = n / 2 + 1;
-  std::size_t alive = 0;
+  std::size_t sources = 0;
   for (ProcessId a : rs.config.acceptors) {
-    if (rt_.peer_alive(a)) ++alive;
+    if (a == removing) continue;
+    if (rt_.peer_alive(a)) ++sources;
   }
-  return alive + quorum > n;
+  return sources + quorum > n;
 }
 
 void Registry::begin_change(RingState& rs, ProcessId add, ProcessId remove,
@@ -465,7 +469,10 @@ std::string Registry::get_meta(const std::string& key) const {
 
 void Registry::check_now() {
   std::lock_guard<std::mutex> lk(mu_);
-  poll();
+  // A forced check covers every ring, including those with a custom
+  // failure-detector chain that the registry-wide poll() deliberately
+  // skips — callers expect an immediate answer, not the next timer tick.
+  for (auto& [_, rs] : rings_) poll_ring(rs);
 }
 
 void Registry::poll() {
@@ -509,13 +516,24 @@ void Registry::check_pending(RingState& rs) {
     // cover every decided instance. Restart the change with a fresh seq
     // and the current alive-source list (the joiner switches over when the
     // new prep arrives) — unless too few acceptors survive for the union
-    // to be sufficient, in which case the change is abandoned.
+    // to be sufficient, in which case the change is abandoned. This is a
+    // runtime failure pattern, not operator misuse, so it must degrade to
+    // "no change" rather than trip begin_change's non-empty-sources check.
     const PendingChange old = rs.pending;
     rs.pending = PendingChange{};
     if (old.remove != kNoProcess &&
         !acceptor_alive_majority_safe(rs, old.remove)) {
       return;
     }
+    bool have_source = false;
+    for (ProcessId a : rs.config.acceptors) {
+      if (a == old.add || a == old.remove) continue;
+      if (rt_.peer_alive(a)) {
+        have_source = true;
+        break;
+      }
+    }
+    if (!have_source) return;
     begin_change(rs, old.add, old.remove, old.drop_removed_member,
                  old.from_auto_heal);
     return;

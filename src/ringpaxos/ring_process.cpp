@@ -651,7 +651,12 @@ void RingHandler::handle_log_sync_reply(ProcessId from,
   if (m.trimmed_to > log_->trimmed_to()) log_->trim(m.trimmed_to);
   if (m.done) {
     ++catchup_cursor_;
-    catchup_from_ = 0;  // next source: drain from its trim horizon up
+    // Next source: start at our own trim horizon — accept() discards
+    // anything below it, so paging through that prefix would be pure
+    // waste. The untrimmed prefix IS re-drained on purpose: a later
+    // source may hold a higher-vround vote for an already-installed
+    // instance, and accept() keeps the maximum.
+    catchup_from_ = log_->trimmed_to();
   } else {
     catchup_from_ = m.next;
   }

@@ -73,29 +73,31 @@ TEST(QuorumSafetyProperty, ReplaceAloneBreaksIntersection) {
   EXPECT_FALSE(all_majorities_intersect(old_basis, new_basis));
 }
 
-TEST(QuorumSafetyProperty, AliveUnionCoversEveryDecidedInstance) {
+TEST(QuorumSafetyProperty, SourceUnionCoversEveryDecidedInstance) {
   // What makes replace safe instead: the registry requires
-  // |alive| + quorum > n, and the joiner drains the union of every alive
-  // acceptor's log. Then every old-basis majority (any set that could have
-  // decided an instance) intersects the alive set, so the union holds at
-  // least one record of every decided instance. Check exhaustively for all
-  // bases and alive-sets up to n=7.
+  // |sources| + quorum > n, where the sources are the alive acceptors minus
+  // the one being replaced (its log leaves the basis at activation, so it
+  // must not count even if it is still up), and the joiner drains the union
+  // of exactly those source logs. Then every old-basis majority (any set
+  // that could have decided an instance) intersects the source set, so the
+  // union holds at least one record of every decided instance. Check
+  // exhaustively for all bases and source-sets up to n=7.
   for (int n = 1; n <= 7; ++n) {
     const unsigned basis = (1u << n) - 1;
     const int q = n / 2 + 1;
-    for (unsigned alive = 0; alive <= basis; ++alive) {
-      if ((alive & basis) != alive) continue;
-      const bool precondition = popcount(alive) + q > n;
-      bool covered = true;  // every majority intersects `alive`
+    for (unsigned sources = 0; sources <= basis; ++sources) {
+      if ((sources & basis) != sources) continue;
+      const bool precondition = popcount(sources) + q > n;
+      bool covered = true;  // every majority intersects `sources`
       for (unsigned m : majorities(basis)) {
-        if ((m & alive) == 0) covered = false;
+        if ((m & sources) == 0) covered = false;
       }
       if (precondition) {
-        EXPECT_TRUE(covered) << "n=" << n << " alive=" << alive;
+        EXPECT_TRUE(covered) << "n=" << n << " sources=" << sources;
       } else {
-        // The precondition is also tight: below it some majority is fully
-        // dead, i.e. a decided instance may exist with no surviving record.
-        EXPECT_FALSE(covered) << "n=" << n << " alive=" << alive;
+        // The precondition is also tight: below it some majority holds no
+        // source, i.e. a decided instance may exist the joiner never sees.
+        EXPECT_FALSE(covered) << "n=" << n << " sources=" << sources;
       }
     }
   }
@@ -244,6 +246,71 @@ TEST_F(ReconfigTest, ReplaceDeadAcceptorRestoresFullQuorum) {
   // Survivors agree on the full history — including values decided under
   // the old basis before the crash (caught up from the union of alive logs).
   expect_complete_and_consistent({1, 2, 4});
+}
+
+TEST_F(ReconfigTest, ReplaceAliveAcceptorUnderLoad) {
+  // Planned decommission: the replaced acceptor is still up. Its log is
+  // excluded from the catch-up sources (it leaves the basis), so the
+  // remaining alive acceptors must cover every decided instance on their
+  // own — here {1,2} do, and the full history survives the swap.
+  build(3, 1);
+  send_batch(1, 20);
+  env_.sim().run_for(from_millis(300));
+  registry_->replace_acceptor(0, 3, 4);  // 3 is alive throughout
+  send_batch(2, 10);
+  env_.sim().run_for(from_seconds(2));
+  EXPECT_FALSE(registry_->change_pending(0));
+  const coord::RingView& v = registry_->current_view(0);
+  EXPECT_EQ(v.configured_acceptors, (std::vector<ProcessId>{1, 2, 4}));
+  EXPECT_TRUE(node(4)->handler(0)->is_acceptor());
+  send_batch(1, 10);
+  env_.sim().run_for(from_seconds(2));
+  expect_complete_and_consistent({1, 2, 4});
+}
+
+TEST_F(ReconfigTest, ReplaceAliveAcceptorRefusedWhenSourcesInsufficient) {
+  // Regression: the safety gate must count catch-up SOURCES, not alive
+  // acceptors. With 2 dead and the still-alive 3 being replaced, only
+  // {1} can serve the joiner — a decided instance whose quorum was {2,3}
+  // would be lost. Counting 3 as "alive" used to let this through.
+  build(3, 1);
+  send_batch(1, 10);
+  env_.sim().run_for(from_millis(300));
+  env_.crash(2);
+  env_.sim().run_for(from_millis(100));
+  EXPECT_DEATH(registry_->replace_acceptor(0, 3, 4),
+               "too many dead acceptors");
+}
+
+TEST_F(ReconfigTest, AllSourcesDeadMidCatchupAbandonsChange) {
+  // Regression: a pure add whose every catch-up source dies mid-sync must
+  // abandon the change on the next FD tick — not abort the registry via
+  // begin_change's non-empty-sources check.
+  build(3, 1);
+  send_batch(1, 10);
+  env_.sim().run_for(from_millis(300));
+  registry_->add_acceptor(0, 4);
+  EXPECT_TRUE(registry_->change_pending(0));
+  env_.crash(1);
+  env_.crash(2);
+  env_.crash(3);
+  env_.sim().run_for(from_seconds(1));  // FD notices the dead sources
+  EXPECT_FALSE(registry_->change_pending(0));
+  EXPECT_EQ(registry_->current_view(0).total_acceptors, 3u);  // unchanged
+}
+
+TEST_F(ReconfigTest, CheckNowPollsCustomFdRings) {
+  // Regression: a forced check must also poll rings that run their own
+  // failure-detector timer chain (custom interval/jitter), not only the
+  // rings on the registry-wide tick.
+  coord::FdParams fd;
+  fd.interval = from_seconds(10);  // first dedicated tick far in the future
+  build(3, 0, fd);
+  env_.crash(3);
+  env_.sim().run_for(from_millis(100));
+  EXPECT_TRUE(registry_->current_view(0).contains(3));  // not yet noticed
+  registry_->check_now();
+  EXPECT_FALSE(registry_->current_view(0).contains(3));
 }
 
 TEST_F(ReconfigTest, ChangeSequenceLosesNothing) {
