@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "runtime/thread_runtime.hpp"
 #include "sim/env.hpp"
 #include "smr/replica.hpp"
 
@@ -255,6 +256,16 @@ class BenchReporter {
         wall_start_(std::chrono::steady_clock::now()),
         events_start_(sim::Simulator::process_executed_events()) {}
 
+  /// Marks this bench as wall-clock timed (thread backend): the report says
+  /// `"timing": "wall"` and omits the sim-only `sim_events` /
+  /// `events_per_second` fields, which would otherwise be zero noise that
+  /// every reader has to special-case. Sim benches keep `"timing": "sim"`
+  /// and the engine-speed fields; run_all.sh validates per mode.
+  BenchReporter& wall_clock_only() {
+    wall_only_ = true;
+    return *this;
+  }
+
   BenchReporter(const BenchReporter&) = delete;
   BenchReporter& operator=(const BenchReporter&) = delete;
 
@@ -263,6 +274,7 @@ class BenchReporter {
         config_(std::move(other.config_)),
         wall_start_(other.wall_start_),
         events_start_(other.events_start_),
+        wall_only_(other.wall_only_),
         rows_(std::move(other.rows_)),
         written_(other.written_) {
     other.written_ = true;  // the moved-from shell must not write on destroy
@@ -310,13 +322,17 @@ class BenchReporter {
         sim::Simulator::process_executed_events() - events_start_;
     std::string out = "{\n  \"bench\": \"";
     detail::append_json_escaped(out, name_);
-    out += "\",\n  \"schema_version\": 2,\n  \"wall_seconds\": ";
+    out += "\",\n  \"schema_version\": 2,\n  \"timing\": \"";
+    out += wall_only_ ? "wall" : "sim";
+    out += "\",\n  \"wall_seconds\": ";
     detail::append_json_number(out, wall);
-    out += ",\n  \"sim_events\": ";
-    detail::append_json_number(out, static_cast<double>(events));
-    out += ",\n  \"events_per_second\": ";
-    detail::append_json_number(
-        out, wall > 0 ? static_cast<double>(events) / wall : 0.0);
+    if (!wall_only_) {
+      out += ",\n  \"sim_events\": ";
+      detail::append_json_number(out, static_cast<double>(events));
+      out += ",\n  \"events_per_second\": ";
+      detail::append_json_number(
+          out, wall > 0 ? static_cast<double>(events) / wall : 0.0);
+    }
     out += ",\n  \"config\": ";
     append_fields(out, config_, "  ");
     out += ",\n  \"rows\": [";
@@ -409,6 +425,7 @@ class BenchReporter {
   Fields config_;
   std::chrono::steady_clock::time_point wall_start_;
   std::uint64_t events_start_ = 0;
+  bool wall_only_ = false;
   // deque: row() hands out references that must survive later row() calls.
   std::deque<Row> rows_;
   bool written_ = false;
@@ -422,6 +439,69 @@ inline BenchReporter::Row& add_flow_metrics(BenchReporter::Row& row,
       .metric("admission_hwm", static_cast<double>(m.admission_hwm))
       .metric("pending_hwm", static_cast<double>(m.pending_hwm))
       .metric("inflight_hwm", static_cast<double>(m.inflight_hwm));
+}
+
+// ---------------------------------------------------------------------------
+// Transport metrics (thread backend)
+//
+// The real-network benches snapshot runtime::TransportStats around the
+// measurement window and report derived rates, so the I/O batching design
+// (epoll, writev flushes, wake coalescing, bounded buffers) is observable
+// in the JSON rather than inferred from throughput alone.
+
+/// Counter delta across a measurement window (`end` minus `start`;
+/// pending_bytes_hwm keeps the end-of-run watermark — it is a gauge).
+inline runtime::TransportStats transport_delta(
+    const runtime::TransportStats& start, const runtime::TransportStats& end) {
+  runtime::TransportStats d;
+  d.frames_sent = end.frames_sent - start.frames_sent;
+  d.frames_dropped = end.frames_dropped - start.frames_dropped;
+  d.frames_received = end.frames_received - start.frames_received;
+  d.bodies_encoded = end.bodies_encoded - start.bodies_encoded;
+  d.flushes = end.flushes - start.flushes;
+  d.flushed_bytes = end.flushed_bytes - start.flushed_bytes;
+  d.flushed_frames = end.flushed_frames - start.flushed_frames;
+  d.epoll_waits = end.epoll_waits - start.epoll_waits;
+  d.syscalls = end.syscalls - start.syscalls;
+  d.wakes_requested = end.wakes_requested - start.wakes_requested;
+  d.wakes_written = end.wakes_written - start.wakes_written;
+  d.pending_bytes_hwm = end.pending_bytes_hwm;
+  return d;
+}
+
+/// Appends the standard transport columns to a row. `elapsed_seconds` is
+/// the wall-clock window the counters were collected over.
+inline BenchReporter::Row& add_transport_metrics(
+    BenchReporter::Row& row, const runtime::TransportStats& t,
+    double elapsed_seconds) {
+  const double frames = static_cast<double>(t.frames_sent);
+  const double flushes = static_cast<double>(t.flushes);
+  return row
+      .metric("syscalls", static_cast<double>(t.syscalls))
+      .metric("syscalls_per_sec",
+              elapsed_seconds > 0
+                  ? static_cast<double>(t.syscalls) / elapsed_seconds
+                  : 0.0)
+      .metric("syscalls_per_frame",
+              frames > 0 ? static_cast<double>(t.syscalls) / frames : 0.0)
+      .metric("frames_sent", frames)
+      .metric("frames_per_flush",
+              flushes > 0 ? static_cast<double>(t.flushed_frames) / flushes
+                          : 0.0)
+      .metric("bytes_per_flush",
+              flushes > 0 ? static_cast<double>(t.flushed_bytes) / flushes
+                          : 0.0)
+      .metric("encodes_per_frame",
+              frames > 0 ? static_cast<double>(t.bodies_encoded) / frames
+                         : 0.0)
+      .metric("wake_coalesce_ratio",
+              t.wakes_written > 0
+                  ? static_cast<double>(t.wakes_requested) /
+                        static_cast<double>(t.wakes_written)
+                  : 1.0)
+      .metric("frames_dropped", static_cast<double>(t.frames_dropped))
+      .metric("pending_bytes_hwm",
+              static_cast<double>(t.pending_bytes_hwm));
 }
 
 }  // namespace mrp::bench

@@ -52,7 +52,7 @@ class EchoSm final : public smr::StateMachine {
 
 struct Args {
   int processes = 3;
-  std::uint32_t workers = 8;
+  std::uint32_t workers = 16;
   double warmup_seconds = 1.0;
   double measure_seconds = 5.0;
   std::size_t payload = 128;
@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
 
   bench::BenchReporter report("fig11_realnet");
+  report.wall_clock_only();
   report.config("backend", "thread+tcp-loopback")
       .config("processes", args.processes)
       .config("workers", args.workers)
@@ -164,6 +165,7 @@ int main(int argc, char** argv) {
     completed0 = client->completed();
     client->latency_histogram().clear();
   });
+  const runtime::TransportStats net0 = cluster.transport_stats_all();
   const auto t0 = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(
       std::chrono::duration<double>(args.measure_seconds));
@@ -174,10 +176,13 @@ int main(int argc, char** argv) {
     latency = client->latency_histogram();
     client->stop();
   });
+  const runtime::TransportStats net1 = cluster.transport_stats_all();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   cluster.stop();
+
+  const runtime::TransportStats net = bench::transport_delta(net0, net1);
 
   const std::uint64_t ops = completed1 - completed0;
   const double ops_per_sec = elapsed > 0 ? static_cast<double>(ops) / elapsed
@@ -187,11 +192,28 @@ int main(int argc, char** argv) {
               ops_per_sec, static_cast<double>(latency.quantile(0.50)) / 1e6,
               static_cast<double>(latency.quantile(0.99)) / 1e6,
               static_cast<unsigned long long>(ops), elapsed);
+  std::printf("  transport: %.0f syscalls/s  %.2f syscalls/frame  "
+              "%.1f frames/flush  %.2f encodes/frame  wake coalesce %.1fx\n",
+              elapsed > 0 ? static_cast<double>(net.syscalls) / elapsed : 0.0,
+              net.frames_sent > 0 ? static_cast<double>(net.syscalls) /
+                                        static_cast<double>(net.frames_sent)
+                                  : 0.0,
+              net.flushes > 0 ? static_cast<double>(net.flushed_frames) /
+                                    static_cast<double>(net.flushes)
+                              : 0.0,
+              net.frames_sent > 0 ? static_cast<double>(net.bodies_encoded) /
+                                        static_cast<double>(net.frames_sent)
+                                  : 0.0,
+              net.wakes_written > 0
+                  ? static_cast<double>(net.wakes_requested) /
+                        static_cast<double>(net.wakes_written)
+                  : 1.0);
 
-  report.row("realnet")
-      .metric("ops_per_sec", ops_per_sec)
-      .metric("completed", static_cast<double>(ops))
-      .metric("elapsed_seconds", elapsed)
-      .latency(latency);
+  auto& row = report.row("realnet")
+                  .metric("ops_per_sec", ops_per_sec)
+                  .metric("completed", static_cast<double>(ops))
+                  .metric("elapsed_seconds", elapsed)
+                  .latency(latency);
+  bench::add_transport_metrics(row, net, elapsed);
   return report.write() ? 0 : 1;
 }

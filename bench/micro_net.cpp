@@ -1,0 +1,246 @@
+// micro_net — transport-layer microbenchmark for the thread backend.
+//
+// Isolates the runtime's real-socket hot path from the protocol stack: a
+// source node floods framed messages at a set of sink nodes over loopback
+// TCP under a fixed in-flight window (sink 0 acks every kAckEvery frames).
+// Each frame is one message object broadcast to every sink, so the
+// encode-once cache is on the measured path: with S sinks the steady-state
+// encodes/frame ratio is 1/S.
+//
+// Reported per payload size: frames/s and MB/s at the sinks, plus the
+// TransportStats-derived columns (syscalls/frame, frames and bytes per
+// flush, wake coalescing) that make the epoll/writev batching design
+// observable. Floors for the small-frame row live in bench/baseline.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/wire.hpp"
+#include "runtime/thread_runtime.hpp"
+#include "smr/command.hpp"
+
+namespace {
+
+using namespace mrp;
+
+constexpr ProcessId kSource = 1;
+constexpr std::uint64_t kAckEvery = 128;
+
+/// Receives the flood; sink 0 acks its running count back to the source.
+class SinkNode final : public runtime::Node {
+ public:
+  SinkNode(runtime::Runtime& rt, bool acker) : Node(rt), acker_(acker) {}
+
+  void on_message(ProcessId from, const runtime::Message& m) override {
+    const auto& reply = runtime::msg_cast<smr::MsgClientReply>(m);
+    ++received_;
+    bytes_ += reply.result.size();
+    if (acker_ && received_ % kAckEvery == 0) {
+      auto ack = std::make_shared<smr::MsgClientReply>();
+      ack->session = 1;  // ack channel
+      ack->seq = received_;
+      send(from, std::move(ack));
+    }
+  }
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  bool acker_;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Floods `sinks` with one shared message object per frame, windowed on
+/// sink 0's acks.
+class SourceNode final : public runtime::Node {
+ public:
+  SourceNode(runtime::Runtime& rt, std::vector<ProcessId> sinks,
+             std::size_t payload, std::uint64_t window)
+      : Node(rt),
+        sinks_(std::move(sinks)),
+        payload_(payload, 0xab),
+        window_(window) {}
+
+  void on_start() override { top_up(); }
+
+  void on_message(ProcessId, const runtime::Message& m) override {
+    const auto& ack = runtime::msg_cast<smr::MsgClientReply>(m);
+    acked_ = ack.seq;
+    top_up();
+  }
+
+ private:
+  void top_up() {
+    while (sent_ - acked_ < window_) {
+      auto frame = std::make_shared<smr::MsgClientReply>();
+      frame->session = 0;
+      frame->seq = ++sent_;
+      frame->result = payload_;
+      // One object to every sink: the body serializes once (encode-once).
+      for (ProcessId s : sinks_) send(s, frame);
+    }
+  }
+
+  std::vector<ProcessId> sinks_;
+  Bytes payload_;
+  std::uint64_t window_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t acked_ = 0;
+};
+
+struct Args {
+  int sinks = 2;
+  std::uint64_t window = 1024;
+  double warmup_seconds = 0.5;
+  double measure_seconds = 3.0;
+  std::vector<std::size_t> payloads = {16, 1024};
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto val = [&s](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return s.compare(0, n, key) == 0 ? s.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--sinks=")) {
+      a.sinks = std::atoi(v);
+    } else if (const char* v = val("--window=")) {
+      a.window = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = val("--warmup=")) {
+      a.warmup_seconds = std::atof(v);
+    } else if (const char* v = val("--seconds=")) {
+      a.measure_seconds = std::atof(v);
+    } else if (const char* v = val("--payload=")) {
+      a.payloads = {static_cast<std::size_t>(std::atoll(v))};
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_net [--sinks=N] [--window=W] [--warmup=S]\n"
+                   "                 [--seconds=S] [--payload=BYTES]\n");
+      std::exit(2);
+    }
+  }
+  if (a.sinks < 1) a.sinks = 1;
+  return a;
+}
+
+struct RunResult {
+  double frames_per_sec = 0;
+  double mbytes_per_sec = 0;
+  double elapsed = 0;
+  runtime::TransportStats net;
+};
+
+RunResult run_once(const Args& args, std::size_t payload) {
+  runtime::ThreadClusterOptions opts;
+  opts.seed = 42;
+  opts.codec = net::wire_codec();
+  runtime::ThreadCluster cluster(opts);
+
+  std::vector<ProcessId> sinks;
+  std::vector<SinkNode*> sink_nodes(static_cast<std::size_t>(args.sinks),
+                                    nullptr);
+  for (int i = 0; i < args.sinks; ++i) {
+    const ProcessId pid = 100 + i;
+    sinks.push_back(pid);
+    cluster.add_local(pid, [&sink_nodes, i](runtime::Runtime& rt) {
+      auto node = std::make_unique<SinkNode>(rt, /*acker=*/i == 0);
+      sink_nodes[static_cast<std::size_t>(i)] = node.get();
+      return node;
+    });
+  }
+  cluster.add_local(kSource, [&sinks, payload, &args](runtime::Runtime& rt) {
+    return std::make_unique<SourceNode>(rt, sinks, payload, args.window);
+  });
+
+  cluster.start();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(args.warmup_seconds));
+
+  std::uint64_t frames0 = 0, bytes0 = 0;
+  for (int i = 0; i < args.sinks; ++i) {
+    cluster.call(sinks[static_cast<std::size_t>(i)], [&](runtime::Node*) {
+      frames0 += sink_nodes[static_cast<std::size_t>(i)]->received();
+      bytes0 += sink_nodes[static_cast<std::size_t>(i)]->bytes();
+    });
+  }
+  const runtime::TransportStats net0 = cluster.transport_stats_all();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(args.measure_seconds));
+  std::uint64_t frames1 = 0, bytes1 = 0;
+  for (int i = 0; i < args.sinks; ++i) {
+    cluster.call(sinks[static_cast<std::size_t>(i)], [&](runtime::Node*) {
+      frames1 += sink_nodes[static_cast<std::size_t>(i)]->received();
+      bytes1 += sink_nodes[static_cast<std::size_t>(i)]->bytes();
+    });
+  }
+  const runtime::TransportStats net1 = cluster.transport_stats_all();
+  RunResult r;
+  r.elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  cluster.stop();
+  r.net = bench::transport_delta(net0, net1);
+  if (r.elapsed > 0) {
+    r.frames_per_sec = static_cast<double>(frames1 - frames0) / r.elapsed;
+    r.mbytes_per_sec =
+        static_cast<double>(bytes1 - bytes0) / r.elapsed / 1e6;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  bench::BenchReporter report("micro_net");
+  report.wall_clock_only();
+  report.config("backend", "thread+tcp-loopback")
+      .config("sinks", args.sinks)
+      .config("window", static_cast<double>(args.window))
+      .config("ack_every", static_cast<double>(kAckEvery))
+      .config("warmup_seconds", args.warmup_seconds)
+      .config("measure_seconds", args.measure_seconds);
+
+  bench::print_header("micro_net — transport flood over loopback TCP");
+  std::printf("  1 source -> %d sink(s), window %llu frames\n", args.sinks,
+              static_cast<unsigned long long>(args.window));
+
+  for (const std::size_t payload : args.payloads) {
+    const RunResult r = run_once(args, payload);
+    std::printf("  payload %5zu B: %10.0f frames/s  %8.1f MB/s  "
+                "%.3f syscalls/frame  %.1f frames/flush  "
+                "%.2f encodes/frame\n",
+                payload, r.frames_per_sec, r.mbytes_per_sec,
+                r.net.frames_sent > 0
+                    ? static_cast<double>(r.net.syscalls) /
+                          static_cast<double>(r.net.frames_sent)
+                    : 0.0,
+                r.net.flushes > 0
+                    ? static_cast<double>(r.net.flushed_frames) /
+                          static_cast<double>(r.net.flushes)
+                    : 0.0,
+                r.net.frames_sent > 0
+                    ? static_cast<double>(r.net.bodies_encoded) /
+                          static_cast<double>(r.net.frames_sent)
+                    : 0.0);
+    auto& row = report.row("payload_" + std::to_string(payload))
+                    .metric("payload_bytes", static_cast<double>(payload))
+                    .metric("frames_per_sec", r.frames_per_sec)
+                    .metric("mbytes_per_sec", r.mbytes_per_sec)
+                    .metric("elapsed_seconds", r.elapsed);
+    bench::add_transport_metrics(row, r.net, r.elapsed);
+  }
+  return report.write() ? 0 : 1;
+}

@@ -11,16 +11,20 @@
 # Only benches present in BUILD_DIR are run (micro_protocol is skipped when
 # Google Benchmark was unavailable at configure time). Fail-fast: exits
 # non-zero if any bench dies, produces no JSON, or produces JSON that does
-# not parse or lacks the engine-speed fields (wall_seconds / sim_events /
-# events_per_second) — a partial run can never look like a clean one.
+# not match its timing schema — a partial run can never look like a clean
+# one. Simulator-clock benches ("timing": "sim") must carry the engine-speed
+# fields (sim_events / events_per_second); wall-clock benches ("timing":
+# "wall", the loopback-TCP ones) must omit them — sim event counts are
+# meaningless there — and must instead surface the transport counters
+# (syscalls, frames_sent, ...) in at least one row.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_results}"
-BENCHES=(micro_sim fig3_baseline fig4_ycsb fig5_dlog_bookkeeper fig6_vertical
-         fig7_horizontal fig8_recovery fig8b_chaos fig9_elastic fig10_overload
-         fig11_realnet fig12_crosspartition fig13_selfheal ablation_multiring
-         micro_protocol)
+BENCHES=(micro_sim micro_net fig3_baseline fig4_ycsb fig5_dlog_bookkeeper
+         fig6_vertical fig7_horizontal fig8_recovery fig8b_chaos fig9_elastic
+         fig10_overload fig11_realnet fig12_crosspartition fig13_selfheal
+         ablation_multiring micro_protocol)
 if [[ -n "${MRP_BENCH_ONLY:-}" ]]; then
   read -r -a BENCHES <<< "$MRP_BENCH_ONLY"
 fi
@@ -55,12 +59,23 @@ for bench in "${BENCHES[@]}"; do
   if ! python3 - "$OUT_DIR/BENCH_$bench.json" <<'PYEOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-for key in ("wall_seconds", "sim_events", "events_per_second"):
-    assert key in doc, f"missing {key}"
-    assert isinstance(doc[key], (int, float)), f"non-numeric {key}"
+assert isinstance(doc.get("wall_seconds"), (int, float)), "missing wall_seconds"
+timing = doc.get("timing", "sim")
+assert timing in ("sim", "wall"), f"unknown timing {timing!r}"
+if timing == "sim":
+    for key in ("sim_events", "events_per_second"):
+        assert key in doc, f"missing {key}"
+        assert isinstance(doc[key], (int, float)), f"non-numeric {key}"
+else:
+    for key in ("sim_events", "events_per_second"):
+        assert key not in doc, f"wall-clock bench must omit {key}"
+    rows = doc.get("rows", [])
+    transport = ("syscalls", "frames_sent", "wake_coalesce_ratio")
+    assert any(all(k in r.get("metrics", {}) for k in transport) for r in rows), \
+        "wall-clock bench missing transport metrics"
 PYEOF
   then
-    echo "    FAILED: BENCH_$bench.json invalid or missing engine-speed fields"
+    echo "    FAILED: BENCH_$bench.json invalid or schema mismatch"
     failures=$((failures + 1))
     continue
   fi

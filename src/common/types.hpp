@@ -49,7 +49,9 @@ inline std::string to_string(const Bytes& b) { return std::string(b.begin(), b.e
 /// keeps the simulator honest about memory without copying per hop.
 class Payload {
  public:
-  Payload() : data_(std::make_shared<const Bytes>()) {}
+  // Default-constructed payloads (decoder scratch, skip values, log record
+  // temporaries) all alias one immutable empty buffer instead of allocating.
+  Payload() : data_(empty_bytes()) {}
   explicit Payload(Bytes b) : data_(std::make_shared<const Bytes>(std::move(b))) {}
   explicit Payload(const std::string& s) : Payload(to_bytes(s)) {}
 
@@ -63,6 +65,12 @@ class Payload {
   }
 
  private:
+  static const std::shared_ptr<const Bytes>& empty_bytes() {
+    static const std::shared_ptr<const Bytes> empty =
+        std::make_shared<const Bytes>();
+    return empty;
+  }
+
   std::shared_ptr<const Bytes> data_;
 };
 

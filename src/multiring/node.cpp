@@ -25,6 +25,9 @@ MultiRingNode::MultiRingNode(runtime::Runtime& rt, coord::Registry* registry,
   for (const RingSub& sub : config_.rings) {
     if (sub.learner) learner_groups.push_back(sub.group);
   }
+  // The delivery dedup set grows to its 200k bound under sustained load;
+  // sizing it up front keeps incremental rehashing off the delivery path.
+  delivered_ids_.reserve(200'001);
 
   if (!learner_groups.empty()) {
     merger_ = std::make_unique<DeterministicMerger>(

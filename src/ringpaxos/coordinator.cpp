@@ -15,6 +15,9 @@ void RingHandler::become_coordinator() {
   coord_.phase1_replies.clear();
   coord_.next_instance = std::max(coord_.next_instance, next_delivery_);
   coord_.window = params_.window;  // adaptive cap starts wide open
+  // The dedup set grows to its 200k bound under sustained load; sizing it up
+  // front keeps incremental rehashing off the per-value hot path.
+  coord_.known_ids.reserve(200'001);
 
   // Promise to self, then pre-execute Phase 1 for all instances >= the local
   // ordered watermark with the other alive acceptors.

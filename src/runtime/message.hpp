@@ -7,7 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -18,6 +21,14 @@ namespace mrp::runtime {
 //   200-299  multiring      400-499  services       600-699  coord / recovery
 class Message {
  public:
+  Message() = default;
+  // The encode cache is bound to one message object's identity: a copy (the
+  // ring layer copies a message to decrement its TTL before forwarding)
+  // starts unencoded, so a mutated copy can never ship stale bytes.
+  Message(const Message&) noexcept {}
+  Message(Message&&) noexcept {}
+  Message& operator=(const Message&) noexcept { return *this; }
+  Message& operator=(Message&&) noexcept { return *this; }
   virtual ~Message() = default;
 
   /// Discriminator for dispatch.
@@ -26,6 +37,30 @@ class Message {
   /// Bytes this message would occupy on the wire; drives the bandwidth and
   /// per-byte CPU models. Implementations estimate header + payload size.
   virtual std::size_t wire_size() const = 0;
+
+  /// Encode-once body cache for byte-oriented transports. The first call
+  /// runs `encode` (append the body encoding to the vector, return false if
+  /// the kind has no encoder); later calls — including from other loop
+  /// threads, once the message has been shared — return the same buffer
+  /// without re-serializing, so a broadcast or ring pass pays for
+  /// serialization exactly once. Returns null if `encode` failed.
+  ///
+  /// Contract: a message must not be mutated after it is first sent. The
+  /// sim backend already requires this (receivers alias the same object);
+  /// the cache extends the rule to the thread backend.
+  template <class Encode>
+  std::shared_ptr<const std::vector<std::uint8_t>> encoded_body(
+      Encode&& encode) const {
+    std::call_once(encode_once_, [&] {
+      auto body = std::make_shared<std::vector<std::uint8_t>>();
+      if (encode(*body)) encoded_body_ = std::move(body);
+    });
+    return encoded_body_;
+  }
+
+ private:
+  mutable std::once_flag encode_once_;
+  mutable std::shared_ptr<const std::vector<std::uint8_t>> encoded_body_;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -4,11 +4,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -29,6 +30,10 @@ namespace {
 
 constexpr std::size_t kMaxFrame = 64u << 20;  // sanity bound, not a limit
 constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kMaxEpollEvents = 128;
+// iovecs per sendmsg: enough to gather 32 header+body frame pairs per
+// syscall without a large stack footprint (IOV_MAX is far higher).
+constexpr std::size_t kMaxIov = 64;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -41,11 +46,11 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-void append_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
 std::uint32_t load_le32(const std::uint8_t* p) {
@@ -109,6 +114,15 @@ ThreadRuntime::ThreadRuntime(ThreadCluster& cluster, ProcessId pid,
   wake_w_ = pipefd[1];
   set_nonblocking(wake_r_);
   set_nonblocking(wake_w_);
+
+  epoll_fd_ = ::epoll_create1(0);
+  MRP_CHECK(epoll_fd_ >= 0);
+  // The wake pipe stays level-triggered: an undrained byte keeps epoll_wait
+  // returning, which is what makes the coalescing protocol in wake()/loop()
+  // lose-free. Everything else is edge-triggered with a persistent interest
+  // set — no per-iteration epoll_ctl churn.
+  epoll_add(wake_r_, EPOLLIN, &wake_tag_);
+  epoll_add(listen_fd_, EPOLLIN | EPOLLET, &listen_tag_);
 }
 
 ThreadRuntime::~ThreadRuntime() {
@@ -123,26 +137,62 @@ ThreadRuntime::~ThreadRuntime() {
     if (ob.fd >= 0) ::close(ob.fd);
   }
   for (auto& in : in_) {
-    if (in.fd >= 0) ::close(in.fd);
+    if (in->fd >= 0) ::close(in->fd);
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_r_ >= 0) ::close(wake_r_);
   if (wake_w_ >= 0) ::close(wake_w_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
 TimeNs ThreadRuntime::now() const { return cluster_.now(); }
 
+void ThreadRuntime::epoll_add(int fd, std::uint32_t events, void* tag) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  MRP_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+}
+
 void ThreadRuntime::wake() {
+  // Coalesced: only the producer that flips wake_pending_ false→true writes
+  // the pipe; everyone else knows a wake is already in flight. The loop
+  // clears the flag at the top of each iteration *before* draining staged
+  // work, so a producer that observes `true` has its work staged before the
+  // drain that follows that clear — no wakeup is ever lost.
+  wakes_requested_.fetch_add(1, std::memory_order_relaxed);
+  if (wake_pending_.exchange(true)) return;
   const std::uint8_t b = 1;
   // EAGAIN means the pipe is full of pending wakeups — already awake.
   [[maybe_unused]] ssize_t n = ::write(wake_w_, &b, 1);
+  wakes_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadRuntime::Frame ThreadRuntime::make_frame(
+    ProcessId to, const Message& m,
+    std::shared_ptr<const std::vector<std::uint8_t>> body) {
+  Frame f;
+  store_le32(f.header.data(),
+             static_cast<std::uint32_t>(12 + body->size()));
+  store_le32(f.header.data() + 4, static_cast<std::uint32_t>(pid_));
+  store_le32(f.header.data() + 8, static_cast<std::uint32_t>(to));
+  store_le32(f.header.data() + 12, static_cast<std::uint32_t>(m.kind()));
+  f.body = std::move(body);
+  return f;
 }
 
 void ThreadRuntime::send(ProcessId to, MessagePtr m) {
   MRP_CHECK(m != nullptr);
   if (to == pid_) {
     // Self-sends stay in-process (the sim delivers them without the network
-    // too) — queue an asynchronous local delivery, preserving zero-copy.
+    // too) — queue an asynchronous local delivery, preserving zero-copy. On
+    // the loop's own thread this needs no lock and no wakeup.
+    if (on_loop_thread()) {
+      local_posted_.push_back([this, msg = std::move(m)] {
+        if (node_) node_->on_message(pid_, *msg);
+      });
+      return;
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       posted_.push_back([this, msg = std::move(m)] {
@@ -153,22 +203,36 @@ void ThreadRuntime::send(ProcessId to, MessagePtr m) {
     return;
   }
   if (!cluster_.has_peer(to)) return;  // dropped, like the sim's network
-  thread_local codec::Writer w;
-  w.clear();
   MRP_CHECK_MSG(cluster_.options().codec.encode != nullptr,
                 "ThreadCluster has no wire codec");
-  MRP_CHECK_MSG(cluster_.options().codec.encode(w, *m),
-                "no wire encoder for sent message kind");
-  const Bytes& body = w.buffer();
-  MRP_CHECK(body.size() + 12 <= kMaxFrame);
+  // Encode-once: the body bytes are cached on the message, so forwarding
+  // the same object to several peers (or around the ring) serializes once.
+  auto body = m->encoded_body([this, &m](std::vector<std::uint8_t>& out) {
+    thread_local codec::Writer w;
+    w.clear();
+    w.reserve(m->wire_size());
+    if (!cluster_.options().codec.encode(w, *m)) return false;
+    out = w.take();
+    bodies_encoded_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  });
+  MRP_CHECK_MSG(body != nullptr, "no wire encoder for sent message kind");
+  MRP_CHECK(body->size() + 12 <= kMaxFrame);
+  Frame f = make_frame(to, *m, std::move(body));
+  if (on_loop_thread()) {
+    // Keep per-sender FIFO order: frames staged by other threads on this
+    // runtime's behalf (oracle calls) must hit the wire before a frame the
+    // loop enqueues now.
+    if (has_staged_.load(std::memory_order_acquire)) adopt_staged_frames();
+    Outbound& ob = out_[to];
+    ob.to = to;
+    enqueue_frame(ob, std::move(f));
+    return;
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    auto& st = staged_out_[to];
-    append_le32(st, static_cast<std::uint32_t>(12 + body.size()));
-    append_le32(st, static_cast<std::uint32_t>(pid_));
-    append_le32(st, static_cast<std::uint32_t>(to));
-    append_le32(st, static_cast<std::uint32_t>(m->kind()));
-    st.insert(st.end(), body.begin(), body.end());
+    staged_frames_.emplace_back(to, std::move(f));
+    has_staged_.store(true, std::memory_order_release);
   }
   wake();
 }
@@ -184,7 +248,9 @@ TimerId ThreadRuntime::schedule(TimeNs delay, Task fn) {
     std::push_heap(timer_heap_.begin(), timer_heap_.end(),
                    std::greater<TimerEntry>{});
   }
-  wake();
+  // The loop recomputes its epoll timeout from the heap every iteration, so
+  // a timer armed on the loop thread needs no wakeup.
+  if (!on_loop_thread()) wake();
   return tid;
 }
 
@@ -255,13 +321,15 @@ void ThreadRuntime::durable_write(int disk_index, std::size_t bytes,
     while (left > 0) {
       const std::size_t n = std::min(left, zeros.size());
       const ssize_t w = ::write(fd, zeros.data(), n);
+      if (w < 0 && errno == EINTR) continue;  // retry, not a failure
       MRP_CHECK_MSG(w > 0, "durable log write failed");
       left -= static_cast<std::size_t>(w);
     }
+    // An unchecked fsync would report durability that never happened.
 #ifdef __APPLE__
-    ::fsync(fd);
+    MRP_CHECK_MSG(::fsync(fd) == 0, "durable log fsync failed");
 #else
-    ::fdatasync(fd);
+    MRP_CHECK_MSG(::fdatasync(fd) == 0, "durable log fdatasync failed");
 #endif
   }
   if (done) done();
@@ -309,13 +377,54 @@ void ThreadRuntime::drain_posted(std::vector<Task>& out) {
   out.clear();
 }
 
+void ThreadRuntime::drain_local_posted() {
+  // Tasks may append more (self-send chains); run until quiescent.
+  while (!local_posted_.empty()) {
+    std::vector<Task> tasks;
+    tasks.swap(local_posted_);
+    for (Task& t : tasks) t();
+  }
+}
+
+void ThreadRuntime::adopt_staged_frames() {
+  std::vector<std::pair<ProcessId, Frame>> staged;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    staged.swap(staged_frames_);
+    has_staged_.store(false, std::memory_order_release);
+  }
+  for (auto& [to, f] : staged) {
+    Outbound& ob = out_[to];
+    ob.to = to;
+    enqueue_frame(ob, std::move(f));
+  }
+}
+
+void ThreadRuntime::drain_wake_pipe() {
+  std::uint8_t buf[256];
+  for (;;) {
+    const ssize_t n = ::read(wake_r_, buf, sizeof(buf));
+    ++stats_.syscalls;
+    if (n == static_cast<ssize_t>(sizeof(buf))) continue;
+    if (n < 0 && errno == EINTR) continue;
+    return;  // drained (short read) or EAGAIN
+  }
+}
+
 void ThreadRuntime::accept_ready() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: try again next poll
+    ++stats_.syscalls;
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN: drained (edge-triggered listener)
+    }
     set_nonblocking(fd);
     set_nodelay(fd);
-    in_.push_back(Inbound{fd, {}});
+    auto in = std::make_unique<Inbound>();
+    in->fd = fd;
+    epoll_add(fd, EPOLLIN | EPOLLRDHUP | EPOLLET, in.get());
+    in_.push_back(std::move(in));
   }
 }
 
@@ -323,15 +432,16 @@ void ThreadRuntime::read_ready(Inbound& in) {
   std::uint8_t chunk[kReadChunk];
   for (;;) {
     const ssize_t n = ::recv(in.fd, chunk, sizeof(chunk), 0);
+    ++stats_.syscalls;
     if (n > 0) {
       in.buf.insert(in.buf.end(), chunk, chunk + n);
-      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
-      continue;
+      continue;  // edge-triggered: must drain until EAGAIN
     }
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // Peer closed or errored: the connection's queued frames are lost
     // (at-most-once delivery), the buffer's complete frames still count.
-    ::close(in.fd);
+    ::close(in.fd);  // also drops the fd from the epoll set
     in.fd = -1;
     break;
   }
@@ -355,126 +465,210 @@ void ThreadRuntime::dispatch_frames(Inbound& in) {
     MessagePtr m = cluster_.options().codec.decode(kind, r);
     MRP_CHECK_MSG(m != nullptr, "no wire decoder for received message kind");
     r.expect_done();
+    ++stats_.frames_received;
     if (to == pid_ && node_) node_->on_message(from, *m);
   }
   if (pos > 0) in.buf.erase(in.buf.begin(), in.buf.begin() + pos);
 }
 
 void ThreadRuntime::close_outbound(Outbound& ob) {
-  if (ob.fd >= 0) ::close(ob.fd);
+  if (ob.fd >= 0) ::close(ob.fd);  // also drops the fd from the epoll set
   ob.fd = -1;
   ob.connecting = false;
-  ob.pending.clear();  // at-most-once: queued frames die with the link
-  ob.off = 0;
+  ob.dirty = false;  // a dangling dirty_ entry skips it via this flag
+  ob.q.clear();  // at-most-once: queued frames die with the link
+  ob.front_off = 0;
+  ob.pending_bytes = 0;
 }
 
-void ThreadRuntime::flush_one(ProcessId to, Outbound& ob) {
-  if (ob.pending.empty() && ob.fd < 0) return;
-  if (ob.fd < 0) {
-    const std::uint16_t port = cluster_.port_of(to);
-    if (port == 0) {  // peer vanished from the map: drop
-      ob.pending.clear();
-      ob.off = 0;
-      return;
-    }
-    ob.fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    MRP_CHECK(ob.fd >= 0);
-    set_nonblocking(ob.fd);
-    set_nodelay(ob.fd);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    const int rc =
-        ::connect(ob.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    if (rc != 0) {
-      if (errno == EINPROGRESS) {
-        ob.connecting = true;
-        return;  // POLLOUT completes the connect
-      }
-      close_outbound(ob);
-      return;
-    }
-    ob.connecting = false;
+void ThreadRuntime::enqueue_frame(Outbound& ob, Frame f) {
+  const std::size_t sz = f.size();
+  // Bounded buffers: a stalled reader cannot grow this queue without
+  // limit. Dropping is legal under the at-most-once contract and is what
+  // the sim's lossy network does; the counter makes it observable.
+  if (ob.pending_bytes + sz > cluster_.options().max_conn_pending_bytes) {
+    ++stats_.frames_dropped;
+    return;
   }
+  ob.pending_bytes += sz;
+  stats_.pending_bytes_hwm =
+      std::max<std::uint64_t>(stats_.pending_bytes_hwm, ob.pending_bytes);
+  ++stats_.frames_sent;
+  ob.q.push_back(std::move(f));
+  if (!ob.dirty) {
+    ob.dirty = true;
+    dirty_.push_back(&ob);
+  }
+  // Adaptive: small frames batch until the end of the event batch; a queue
+  // crossing the high-water mark flushes now to bound latency and memory.
+  if (ob.pending_bytes >= cluster_.options().flush_hwm_bytes) flush_one(ob);
+}
+
+bool ThreadRuntime::ensure_connected(Outbound& ob) {
+  if (ob.fd >= 0) return !ob.connecting;
+  const std::uint16_t port = cluster_.port_of(ob.to);
+  if (port == 0) {  // peer vanished from the map: drop
+    ob.q.clear();
+    ob.front_off = 0;
+    ob.pending_bytes = 0;
+    return false;
+  }
+  ob.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ++stats_.syscalls;
+  MRP_CHECK(ob.fd >= 0);
+  set_nonblocking(ob.fd);
+  set_nodelay(ob.fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int rc =
+      ::connect(ob.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  ++stats_.syscalls;
+  // Registered once with EPOLLOUT|EPOLLET for the connection's lifetime:
+  // edge-triggered EPOLLOUT only fires on not-writable→writable
+  // transitions (connect completion, kernel buffer draining after a short
+  // write), so the interest set needs no MOD churn while the socket stays
+  // writable — the moral equivalent of "EPOLLOUT only while pending".
+  if (rc != 0) {
+    if (errno == EINPROGRESS) {
+      ob.connecting = true;
+      epoll_add(ob.fd, EPOLLOUT | EPOLLRDHUP | EPOLLET, &ob);
+      return false;  // EPOLLOUT completes the connect
+    }
+    close_outbound(ob);
+    return false;
+  }
+  ob.connecting = false;
+  epoll_add(ob.fd, EPOLLOUT | EPOLLRDHUP | EPOLLET, &ob);
+  return true;
+}
+
+void ThreadRuntime::out_ready(Outbound& ob, std::uint32_t events) {
+  if (ob.fd < 0) return;  // closed earlier in this batch
   if (ob.connecting) {
     int err = 0;
     socklen_t len = sizeof(err);
-    if (::getsockopt(ob.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
-        err == EINPROGRESS) {
-      return;  // still connecting
+    if (::getsockopt(ob.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      err = errno;
     }
+    if (err == EINPROGRESS) return;  // still connecting
     if (err != 0) {
       close_outbound(ob);
       return;
     }
     ob.connecting = false;
+    flush_one(ob);
+    return;
   }
-  while (ob.off < ob.pending.size()) {
-    const ssize_t n = ::send(ob.fd, ob.pending.data() + ob.off,
-                             ob.pending.size() - ob.off, MSG_NOSIGNAL);
-    if (n > 0) {
-      ob.off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+  if (events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) {
     close_outbound(ob);
     return;
   }
-  ob.pending.clear();
-  ob.off = 0;
+  if (events & EPOLLOUT) flush_one(ob);
 }
 
-void ThreadRuntime::flush_outbound() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [to, staged] : staged_out_) {
-      if (staged.empty()) continue;
-      auto& ob = out_[to];
-      if (ob.pending.empty()) {
-        ob.pending = std::move(staged);
-        staged.clear();
-        ob.off = 0;
+void ThreadRuntime::flush_one(Outbound& ob) {
+  ob.dirty = false;
+  if (ob.q.empty()) return;
+  if (!ensure_connected(ob)) return;
+  while (!ob.q.empty()) {
+    // Scatter-gather straight out of the frame queue: header and body
+    // iovecs per frame, no intermediate flat copy.
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t batch = 0;
+    std::size_t off = ob.front_off;
+    for (const Frame& f : ob.q) {
+      if (niov + 2 > kMaxIov) break;
+      if (off < f.header.size()) {
+        iov[niov].iov_base =
+            const_cast<std::uint8_t*>(f.header.data()) + off;
+        iov[niov].iov_len = f.header.size() - off;
+        batch += iov[niov].iov_len;
+        ++niov;
+        off = 0;
       } else {
-        ob.pending.insert(ob.pending.end(), staged.begin(), staged.end());
-        staged.clear();
+        off -= f.header.size();
+      }
+      if (f.body->size() > off) {
+        iov[niov].iov_base = const_cast<std::uint8_t*>(f.body->data()) + off;
+        iov[niov].iov_len = f.body->size() - off;
+        batch += iov[niov].iov_len;
+        ++niov;
+      }
+      off = 0;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(ob.fd, &mh, MSG_NOSIGNAL);
+    ++stats_.syscalls;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // EPOLLOUT resumes
+      close_outbound(ob);
+      return;
+    }
+    ++stats_.flushes;
+    stats_.flushed_bytes += static_cast<std::uint64_t>(n);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      Frame& f = ob.q.front();
+      const std::size_t remain = f.size() - ob.front_off;
+      if (left >= remain) {
+        left -= remain;
+        ob.pending_bytes -= remain;
+        ob.front_off = 0;
+        ob.q.pop_front();
+        ++stats_.flushed_frames;
+      } else {
+        ob.front_off += left;
+        ob.pending_bytes -= left;
+        left = 0;
       }
     }
+    // A short write means the kernel buffer filled: the socket is now
+    // unwritable, so the next edge-triggered EPOLLOUT resumes the flush.
+    if (static_cast<std::size_t>(n) < batch) return;
   }
-  for (auto& [to, ob] : out_) flush_one(to, ob);
+}
+
+void ThreadRuntime::flush_dirty() {
+  // flush_one may run mid-batch (high-water mark) and clear a flag; the
+  // flag check skips those and any duplicate pointers.
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    if (dirty_[i]->dirty) flush_one(*dirty_[i]);
+  }
+  dirty_.clear();
 }
 
 void ThreadRuntime::loop() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
   if (factory_) {
     node_ = factory_(*this);
     node_->on_start();
   }
   std::vector<Task> tasks;
-  std::vector<pollfd> pfds;
-  std::vector<ProcessId> out_order;
+  struct epoll_event events[kMaxEpollEvents];
   while (!stop_.load(std::memory_order_acquire)) {
+    // Clearing the wake flag *before* draining staged work is what makes
+    // coalescing lose-free: a producer that saw the flag `true` staged its
+    // work before this clear's drain runs (see wake()).
+    wake_pending_.store(false);
     drain_posted(tasks);
+    drain_local_posted();
+    adopt_staged_frames();
     fire_due_timers();
-    flush_outbound();
-    in_.erase(std::remove_if(in_.begin(), in_.end(),
-                             [](const Inbound& in) { return in.fd < 0; }),
+    drain_local_posted();  // timers may have self-sent
+    in_.erase(std::remove_if(
+                  in_.begin(), in_.end(),
+                  [](const std::unique_ptr<Inbound>& in) {
+                    return in->fd < 0;
+                  }),
               in_.end());
     if (stop_.load(std::memory_order_acquire)) break;
-
-    pfds.clear();
-    out_order.clear();
-    pfds.push_back(pollfd{wake_r_, POLLIN, 0});
-    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    // Snapshot the inbound count NOW: accept_ready() below grows in_, and
-    // the revents dispatch must index pfds by the layout it was built with.
-    const std::size_t n_in = in_.size();
-    for (const Inbound& in : in_) pfds.push_back(pollfd{in.fd, POLLIN, 0});
-    for (const auto& [to, ob] : out_) {
-      if (ob.fd >= 0 && (ob.connecting || ob.off < ob.pending.size())) {
-        pfds.push_back(pollfd{ob.fd, POLLOUT, 0});
-        out_order.push_back(to);
-      }
-    }
+    flush_dirty();
 
     int timeout_ms = 200;  // re-check stop_/timers at least this often
     const TimeNs deadline = next_deadline();
@@ -485,27 +679,42 @@ void ThreadRuntime::loop() {
                        : static_cast<int>(std::min<TimeNs>(
                              delta / 1'000'000 + 1, 200));
     }
-    const int nready = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (nready <= 0) continue;
+    const int nready = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents,
+                                    timeout_ms);
+    ++stats_.syscalls;
+    ++stats_.epoll_waits;
+    if (nready <= 0) continue;  // timeout or EINTR
 
-    if (pfds[0].revents & POLLIN) {
-      std::uint8_t buf[256];
-      while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+    for (int i = 0; i < nready; ++i) {
+      void* p = events[i].data.ptr;
+      switch (*static_cast<const int*>(p)) {
+        case kTagWake:
+          drain_wake_pipe();
+          break;
+        case kTagListen:
+          accept_ready();
+          break;
+        case kTagIn:
+          read_ready(*static_cast<Inbound*>(p));
+          break;
+        case kTagOut:
+          out_ready(*static_cast<Outbound*>(p), events[i].events);
+          break;
       }
     }
-    if (pfds[1].revents & POLLIN) accept_ready();
-    for (std::size_t i = 0; i < n_in; ++i) {
-      if (pfds[2 + i].revents & (POLLIN | POLLHUP | POLLERR)) {
-        read_ready(in_[i]);
-      }
-    }
-    for (std::size_t i = 0; i < out_order.size(); ++i) {
-      if (pfds[2 + n_in + i].revents & (POLLOUT | POLLHUP | POLLERR)) {
-        flush_one(out_order[i], out_[out_order[i]]);
-      }
-    }
+    // Replies generated while dispatching this batch go out in one flush
+    // per connection (the deferred-flush half of the batching design).
+    flush_dirty();
   }
   node_.reset();  // destroy the node on its own loop thread
+}
+
+TransportStats ThreadRuntime::transport_stats() const {
+  TransportStats s = stats_;
+  s.wakes_requested = wakes_requested_.load(std::memory_order_relaxed);
+  s.wakes_written = wakes_written_.load(std::memory_order_relaxed);
+  s.bodies_encoded = bodies_encoded_.load(std::memory_order_relaxed);
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -621,6 +830,26 @@ Runtime& ThreadCluster::runtime(ProcessId pid) {
   auto it = locals_.find(pid);
   MRP_CHECK_MSG(it != locals_.end(), "unknown local process");
   return *it->second;
+}
+
+TransportStats ThreadCluster::transport_stats(ProcessId pid) {
+  auto it = locals_.find(pid);
+  MRP_CHECK_MSG(it != locals_.end(), "unknown local process");
+  ThreadRuntime& rt = *it->second;
+  if (started_ && !stopped_ &&
+      !rt.killed_.load(std::memory_order_acquire)) {
+    // Loop-owned counters: hop to the loop thread for a consistent read.
+    TransportStats s;
+    call(pid, [&rt, &s](Node*) { s = rt.transport_stats(); });
+    return s;
+  }
+  return rt.transport_stats();  // loop joined or never started: safe
+}
+
+TransportStats ThreadCluster::transport_stats_all() {
+  TransportStats total;
+  for (auto& [pid, rt] : locals_) total += transport_stats(pid);
+  return total;
 }
 
 }  // namespace mrp::runtime

@@ -58,12 +58,6 @@ void ReplicaNode::enqueue_request(GroupId group, const Command& c) {
   }
   if (!admit(group, c)) return;  // admission window full: client pushed back
   pg = {c.seq, now()};
-  if (options_.batch_delay == 0) {
-    Batch b;
-    b.commands.push_back(c);
-    multicast_batch(group, std::move(b));
-    return;
-  }
   PendingBatch& pb = pending_[group];
   pb.batch.commands.push_back(c);
   pb.bytes += c.wire_size();
@@ -73,6 +67,11 @@ void ReplicaNode::enqueue_request(GroupId group, const Command& c) {
   }
   if (!pb.timer_armed) {
     pb.timer_armed = true;
+    // batch_delay == 0 does not mean "no batching": the zero-delay timer
+    // fires after the scheduler drains the current event batch, so requests
+    // arriving in the same batch (one epoll sweep on the thread backend, one
+    // simulated instant in the sim) coalesce into a single ring instance —
+    // the protocol-layer mirror of the transport's end-of-batch flush.
     after(options_.batch_delay, [this, group] { flush_batch(group); });
   }
 }

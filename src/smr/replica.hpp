@@ -37,7 +37,9 @@ namespace mrp::smr {
 struct ReplicaOptions {
   std::size_t batch_bytes = 32 * 1024;
   /// How long a partially filled batch may wait for more commands before it
-  /// is multicast anyway. 0 = every request is multicast immediately.
+  /// is multicast anyway. 0 = flush at the end of the current event batch:
+  /// requests arriving in the same scheduler step still coalesce into one
+  /// multicast, but nothing waits for wall-clock time.
   TimeNs batch_delay = 0;
   /// Minimum interval before this replica re-proposes a duplicate command
   /// it has already multicast (client retry suppression).

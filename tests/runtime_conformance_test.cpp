@@ -9,7 +9,12 @@
 // cross-process message round-trips through net/wire encode/decode).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -470,6 +475,123 @@ TEST(ThreadRuntimeStableTest, FileBackedSlotSurvivesRestart) {
     cluster.stop();
   }
   fs::remove_all(dir);
+}
+
+// Counts how many times the wire codec actually serializes a Phase 2 body.
+// WireCodec carries plain function pointers, so the counter is a global.
+std::atomic<std::uint64_t> g_phase2_encodes{0};
+
+bool counting_encode(codec::Writer& w, const runtime::Message& m) {
+  if (m.kind() == ringpaxos::kMsgPhase2) {
+    g_phase2_encodes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return net::wire_codec().encode(w, m);
+}
+
+// The encode-once contract: forwarding one message object to several peers
+// (a ring pass / broadcast) serializes the body exactly once — later sends
+// reuse the cached buffer, so the codec never sees the message again.
+TEST(ThreadRuntimeEncodeOnceTest, RingForwardSerializesExactlyOnce) {
+  runtime::ThreadClusterOptions o;
+  o.codec = net::wire_codec();
+  o.codec.encode = &counting_encode;
+
+  Shared shared;
+  runtime::ThreadCluster cluster(o);
+  for (ProcessId pid : {1, 2, 3}) {
+    cluster.add_local(pid, [&shared](runtime::Runtime& rt) {
+      return std::make_unique<ProbeNode>(rt, &shared);
+    });
+  }
+  cluster.start();
+  g_phase2_encodes.store(0);
+
+  cluster.call(1, [](runtime::Node* n) {
+    auto m = std::make_shared<ringpaxos::MsgPhase2>();
+    m->ring = 1;
+    m->ttl = 2;
+    m->round = 3;
+    m->instance = 4;
+    m->value.id = ValueId{1, 1};
+    m->value.payload = Payload(std::string("ring-pass-body"));
+    n->send(2, m);  // the ring successor...
+    n->send(3, m);  // ...and a learner: same object, one serialization
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (shared.count() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(shared.count(), 2u) << "both receivers must get the frame";
+  EXPECT_EQ(g_phase2_encodes.load(), 1u);
+
+  const runtime::TransportStats ts = cluster.transport_stats(1);
+  EXPECT_GE(ts.frames_sent, 2u);
+  cluster.stop();
+}
+
+// Back-pressure: a peer that completes the TCP handshake but never reads
+// must not wedge the sender or grow its queue without bound. Frames beyond
+// max_conn_pending_bytes are dropped (at-most-once delivery) and the
+// event loop keeps serving timers throughout.
+TEST(ThreadRuntimeBackPressureTest, PendingCapHoldsUnderStalledReader) {
+  // Test-owned listener: the kernel accepts the connection into the backlog
+  // and buffers what fits; nobody ever reads, so the sender's socket
+  // eventually returns EAGAIN and its queue starts growing.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+
+  runtime::ThreadClusterOptions o;
+  o.codec = net::wire_codec();
+  o.max_conn_pending_bytes = 64u << 10;
+  o.flush_hwm_bytes = 16u << 10;
+
+  Shared shared;
+  runtime::ThreadCluster cluster(o);
+  cluster.add_local(1, [&shared](runtime::Runtime& rt) {
+    return std::make_unique<ProbeNode>(rt, &shared);
+  });
+  cluster.add_remote(2, ntohs(addr.sin_port));
+  cluster.start();
+
+  // Far more bytes than cap + kernel buffers can hold.
+  cluster.call(1, [](runtime::Node* n) {
+    for (int i = 0; i < 8000; ++i) {
+      auto m = std::make_shared<smr::MsgClientReply>();
+      m->session = 1;
+      m->seq = static_cast<std::uint64_t>(i);
+      m->result = Bytes(1024, 0xcd);
+      n->send(2, std::move(m));
+    }
+  });
+
+  // The loop must still be alive and serving timers (call() itself would
+  // hang forever on a wedged loop; the timer proves forward progress).
+  cluster.call(1, [&shared](runtime::Node* n) {
+    n->rt().after(kMillisecond, [&shared] { shared.record("tick"); });
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (shared.count() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(shared.snapshot(), (std::vector<std::string>{"tick"}));
+
+  const runtime::TransportStats ts = cluster.transport_stats(1);
+  EXPECT_GT(ts.frames_dropped, 0u) << "cap never engaged";
+  EXPECT_LE(ts.pending_bytes_hwm, o.max_conn_pending_bytes)
+      << "per-connection queue exceeded max_conn_pending_bytes";
+  cluster.stop();
+  ::close(lfd);
 }
 
 }  // namespace
